@@ -1,0 +1,121 @@
+// Command comtainer-build performs the user side of the coMtainer
+// workflow for one of the evaluation applications: the two-stage container
+// build on coMtainer's Env/Base images with the hijacker recording, the
+// front-end analysis, and the cache-layer injection. The resulting OCI
+// layout directory holds the dist image and the extended image (+coM),
+// ready to be shipped to an HPC system.
+//
+// Usage:
+//
+//	comtainer-build -app lulesh -isa x86-64 -o ./lulesh.dist.oci
+//	comtainer-build -containerfile ./Containerfile -context ./src-dir \
+//	                -name myapp -isa x86-64 -o ./myapp.dist.oci
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"comtainer/internal/core"
+	"comtainer/internal/core/cache"
+	"comtainer/internal/fsim"
+	"comtainer/internal/workloads"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to build (one of the Table-2 apps)")
+	cfPath := flag.String("containerfile", "", "build a custom two-stage Containerfile instead of a named app")
+	ctxDir := flag.String("context", "", "build-context directory for -containerfile")
+	name := flag.String("name", "app", "image name for -containerfile builds")
+	isa := flag.String("isa", "x86-64", "target ISA: x86-64 or aarch64")
+	out := flag.String("o", "", "output OCI layout directory")
+	conventional := flag.Bool("conventional", false, "build the generic image only (no coMtainer analysis)")
+	obfuscate := flag.Bool("obfuscate", false, "obfuscate sources in the cache layer")
+	ir := flag.Bool("ir", false, "distribute compiler IR instead of sources (locks package versions and ISA)")
+	list := flag.Bool("list", false, "list available applications and exit")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for _, a := range workloads.Apps() {
+			names = append(names, a.Name)
+		}
+		fmt.Println(strings.Join(names, " "))
+		return
+	}
+	if (*appName == "" && *cfPath == "") || *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: comtainer-build (-app <name> | -containerfile <file> -context <dir>) -isa <isa> -o <dir.oci>")
+		os.Exit(2)
+	}
+	if err := run(*appName, *cfPath, *ctxDir, *name, *isa, *out, *conventional, *obfuscate, *ir); err != nil {
+		fmt.Fprintln(os.Stderr, "comtainer-build:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, cfPath, ctxDir, name, isa, out string, conventional, obfuscate, ir bool) error {
+	user, err := core.NewUserSide(canonISA(isa))
+	if err != nil {
+		return err
+	}
+	opts := cache.Options{Obfuscate: obfuscate}
+	if ir {
+		opts.Format = cache.FormatIR
+	}
+	var res core.BuildResult
+	switch {
+	case cfPath != "":
+		cfText, err := os.ReadFile(cfPath)
+		if err != nil {
+			return err
+		}
+		ctx := fsim.New()
+		if ctxDir != "" {
+			ctx, err = fsim.ImportDir(ctxDir)
+			if err != nil {
+				return err
+			}
+		}
+		res, err = user.BuildContainerfile(name, string(cfText), ctx, !conventional, opts)
+		if err != nil {
+			return err
+		}
+	default:
+		app, err := workloads.Find(appName)
+		if err != nil {
+			return err
+		}
+		switch {
+		case conventional:
+			res, err = user.BuildOriginal(app)
+		case ir:
+			res, err = user.BuildExtendedIR(app)
+		case obfuscate:
+			res, err = user.BuildExtendedObfuscated(app)
+		default:
+			res, err = user.BuildExtended(app)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := user.Repo.SaveLayout(out); err != nil {
+		return err
+	}
+	fmt.Printf("built %s -> %s\n", res.DistTag, out)
+	if res.ExtendedTag != "" {
+		fmt.Printf("extended image tagged %s (cache layer injected)\n", res.ExtendedTag)
+	}
+	return nil
+}
+
+func canonISA(isa string) string {
+	switch isa {
+	case "aarch64", "arm64", "arm":
+		return "aarch64"
+	default:
+		return "x86-64"
+	}
+}

@@ -1,0 +1,111 @@
+// Command comtainer-rebuild performs the system-side rebuild step on an
+// extended image stored in an OCI layout directory: system adapters
+// transform the cached process models and the build graph re-executes
+// under the target system's toolchain, appending a rebuild layer (+coMre).
+//
+// Usage:
+//
+//	comtainer-rebuild -layout ./lulesh.dist.oci -system x86-64 -adapters libo,cxxo,lto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"comtainer/internal/core/adapter"
+	"comtainer/internal/core/backend"
+	"comtainer/internal/core/cache"
+	"comtainer/internal/oci"
+	"comtainer/internal/sysprofile"
+)
+
+func main() {
+	layout := flag.String("layout", "", "OCI layout directory holding the extended image")
+	sysName := flag.String("system", "x86-64", "target system: x86-64 or aarch64")
+	adapterList := flag.String("adapters", "libo,cxxo", "comma-separated adapter chain: libo,cxxo,lto,cross-isa")
+	flag.Parse()
+	if *layout == "" {
+		fmt.Fprintln(os.Stderr, "usage: comtainer-rebuild -layout <dir.oci> -system <name> [-adapters ...]")
+		os.Exit(2)
+	}
+	if err := run(*layout, *sysName, *adapterList); err != nil {
+		fmt.Fprintln(os.Stderr, "comtainer-rebuild:", err)
+		os.Exit(1)
+	}
+}
+
+// parseAdapters resolves adapter names to the built-in chain.
+func parseAdapters(spec string) ([]adapter.Adapter, error) {
+	var out []adapter.Adapter
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "libo":
+			out = append(out, adapter.Libo())
+		case "cxxo":
+			out = append(out, adapter.Toolchain())
+		case "lto":
+			out = append(out, adapter.LTO())
+		case "cross-isa":
+			// Cross-ISA must run first so later adapters see a coherent ISA.
+			out = append([]adapter.Adapter{adapter.CrossISA()}, out...)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown adapter %q (have libo, cxxo, lto, cross-isa)", name)
+		}
+	}
+	if len(out) == 0 {
+		out = adapter.DefaultAdapted()
+	}
+	return out, nil
+}
+
+// findDistTag locates the <tag>+coM manifest in the layout's index.
+func findDistTag(repo *oci.Repository) (string, error) {
+	for _, tag := range repo.Index.Tags() {
+		if strings.HasSuffix(tag, cache.ExtendedSuffix) {
+			return strings.TrimSuffix(tag, cache.ExtendedSuffix), nil
+		}
+	}
+	return "", fmt.Errorf("layout holds no extended image (+coM tag); run comtainer-build first")
+}
+
+func run(layoutDir, sysName, adapterSpec string) error {
+	repo, err := oci.LoadLayout(layoutDir)
+	if err != nil {
+		return err
+	}
+	sys, err := sysprofile.ByName(sysName)
+	if err != nil {
+		return err
+	}
+	// The rebuild container's base images come from the system side.
+	if err := sysprofile.PopulateSystemSide(repo, sys); err != nil {
+		return err
+	}
+	adapters, err := parseAdapters(adapterSpec)
+	if err != nil {
+		return err
+	}
+	distTag, err := findDistTag(repo)
+	if err != nil {
+		return err
+	}
+	desc, report, err := backend.Rebuild(repo, distTag, backend.RebuildOptions{
+		System:   sys,
+		Adapters: adapters,
+	})
+	if err != nil {
+		return err
+	}
+	if err := repo.SaveLayout(layoutDir); err != nil {
+		return err
+	}
+	fmt.Printf("rebuilt %s for %s -> %s (%s)\n", distTag, sys.Name, cache.RebuiltTag(distTag), desc.Digest.Short())
+	fmt.Printf("adapted %d build commands\n", report.ChangedCommands)
+	for _, n := range report.Notes {
+		fmt.Println(" ", n)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Command comtainer-registry serves a minimal OCI distribution registry —
+// the repository hop between the user side and the HPC systems.
+//
+// Usage:
+//
+//	comtainer-registry -addr 127.0.0.1:5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"comtainer/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5000", "listen address")
+	flag.Parse()
+	srv := registry.NewServer()
+	fmt.Printf("comtainer-registry listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

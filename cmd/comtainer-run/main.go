@@ -1,0 +1,84 @@
+// Command comtainer-run executes a container image from an OCI layout on
+// a simulated HPC system (the ch-run step of the evaluation) and prints
+// the modeled execution time and the factors behind it.
+//
+// Usage:
+//
+//	comtainer-run -layout ./lulesh.dist.oci -tag lulesh.dist.redirect \
+//	              -workload lulesh -system x86-64 -nodes 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comtainer/internal/chrun"
+	"comtainer/internal/oci"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/workloads"
+)
+
+func main() {
+	layout := flag.String("layout", "", "OCI layout directory")
+	tag := flag.String("tag", "", "image tag to run")
+	workload := flag.String("workload", "", "workload id (e.g. lulesh, lammps.lj)")
+	sysName := flag.String("system", "x86-64", "system to run on")
+	nodes := flag.Int("nodes", 16, "number of nodes")
+	export := flag.String("export", "", "also unpack the flattened image root into this host directory")
+	flag.Parse()
+	if *layout == "" || *tag == "" || *workload == "" {
+		fmt.Fprintln(os.Stderr, "usage: comtainer-run -layout <dir.oci> -tag <tag> -workload <id> [-system s] [-nodes n] [-export dir]")
+		os.Exit(2)
+	}
+	if err := run(*layout, *tag, *workload, *sysName, *nodes, *export); err != nil {
+		fmt.Fprintln(os.Stderr, "comtainer-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(layoutDir, tag, workloadID, sysName string, nodes int, export string) error {
+	repo, err := oci.LoadLayout(layoutDir)
+	if err != nil {
+		return err
+	}
+	sys, err := sysprofile.ByName(sysName)
+	if err != nil {
+		return err
+	}
+	var ref workloads.Ref
+	found := false
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == workloadID {
+			ref, found = r, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown workload %q", workloadID)
+	}
+	img, err := repo.LoadByTag(tag)
+	if err != nil {
+		return err
+	}
+	if export != "" {
+		flat, err := img.Flatten()
+		if err != nil {
+			return err
+		}
+		if err := flat.ExportDir(export); err != nil {
+			return err
+		}
+		fmt.Printf("exported flattened root of %s to %s\n", tag, export)
+	}
+	res, err := chrun.RunImage(sys, ref, img, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s, %d node(s): %.2f s (compute %.2f s, communication %.2f s)\n",
+		workloadID, sys.Name, nodes, res.Seconds, res.CompSeconds, res.CommSeconds)
+	fmt.Printf("binary: toolchain=%s march=%s O%s lto=%v pgo=%v\n",
+		res.Binary.Toolchain, res.Binary.March, res.Binary.OptLevel, res.Binary.LTO, res.Binary.PGOOptimized)
+	fmt.Printf("factors: lib=%.2f (%.0f%% of key libs optimized) cc=%.2f libc=%.2f lto=%.2f pgo=%.2f net=%v\n",
+		res.LibFactor, res.LibFraction*100, res.CCFactor, res.LibcFactor, res.LTOFactor, res.PGOFactor, res.NetPath)
+	return nil
+}

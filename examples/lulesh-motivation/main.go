@@ -1,0 +1,21 @@
+// lulesh-motivation reproduces the paper's Figure-3 study: LULESH in a
+// generic image versus incrementally enabled system-specific
+// optimizations (library replacement, native toolchain, LTO, PGO), on a
+// single node of each HPC system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comtainer/internal/experiments"
+)
+
+func main() {
+	env := experiments.NewEnvironment()
+	rows, err := experiments.Figure3(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderFigure3(rows))
+}

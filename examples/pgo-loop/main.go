@@ -1,0 +1,92 @@
+// pgo-loop demonstrates coMtainer's automated profile-guided-optimization
+// feedback loop (paper §4.4): the system rebuilds the application with
+// instrumentation, runs a trial to collect a profile, rebuilds against
+// the profile, and redirects — all without user involvement. The loop is
+// shown step by step rather than through the SystemSide.PGOLoop helper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comtainer/internal/core"
+	"comtainer/internal/core/adapter"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+	"comtainer/internal/workloads"
+)
+
+const profilePath = "/.comtainer/profile/default.profdata"
+
+func main() {
+	user, err := core.NewUserSide(toolchain.ISAx86)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := workloads.Find("minimd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := user.BuildExtended(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := sysprofile.X86Cluster()
+	system, err := core.NewSystemSide(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := system.Pull(user.Repo, res.ExtendedTag); err != nil {
+		log.Fatal(err)
+	}
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "minimd" {
+			ref = r
+		}
+	}
+	base := adapter.DefaultOptimized() // libo + cxxo + lto
+
+	// Baseline: adapted+LTO, no PGO.
+	if _, err := system.Adapt(res.DistTag, base); err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := system.Run(res.DistTag+".redirect", ref, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adapted+LTO baseline:     %.3f s\n", baseline.Seconds)
+
+	// Phase 1: instrumented rebuild and trial run.
+	instr := append(append([]adapter.Adapter{}, base...), adapter.PGOInstrument())
+	if _, _, err := system.Rebuild(res.DistTag, instr, nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := system.Redirect(res.DistTag); err != nil {
+		log.Fatal(err)
+	}
+	trial, err := system.Run(res.DistTag+".redirect", ref, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instrumented trial run:   %.3f s (overhead %.0f%%, %d profile bytes)\n",
+		trial.Seconds, (trial.Seconds/baseline.Seconds-1)*100, len(trial.Profile))
+
+	// Phase 2: rebuild against the collected profile.
+	use := append(append([]adapter.Adapter{}, base...), adapter.PGOUse(profilePath))
+	extra := map[string][]byte{profilePath: trial.Profile}
+	if _, _, err := system.Rebuild(res.DistTag, use, extra); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := system.Redirect(res.DistTag); err != nil {
+		log.Fatal(err)
+	}
+	final, err := system.Run(res.DistTag+".redirect", ref, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PGO-optimized:            %.3f s (%.1f%% over the baseline)\n",
+		final.Seconds, (baseline.Seconds/final.Seconds-1)*100)
+	fmt.Printf("final binary: lto=%v pgo=%v profile=%.12s...\n",
+		final.Binary.LTO, final.Binary.PGOOptimized, final.Binary.ProfileData)
+}

@@ -1,0 +1,84 @@
+// registry-flow runs the coMtainer workflow across a real HTTP boundary:
+// the user side pushes the extended image to an OCI registry served over
+// localhost, the "remote" HPC system pulls it, rebuilds, redirects and
+// runs — the full Figure-1 distribution picture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"comtainer/internal/core"
+	"comtainer/internal/core/adapter"
+	"comtainer/internal/registry"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+	"comtainer/internal/workloads"
+)
+
+func main() {
+	// Serve a registry on an ephemeral localhost port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := registry.NewServer()
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("registry listening at %s\n", base)
+
+	// User side: build and push.
+	user, err := core.NewUserSide(toolchain.ISAx86)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := workloads.Find("hpcg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := user.BuildExtended(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := registry.NewClient(base)
+	if err := client.Ping(); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Push(user.Repo, res.ExtendedTag, "user/hpcg", "v1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pushed %s as user/hpcg:v1\n", res.ExtendedTag)
+
+	// System side: pull over HTTP into its own store, then adapt and run.
+	sys := sysprofile.X86Cluster()
+	system, err := core.NewSystemSide(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Pull(system.Repo, "user/hpcg", "v1", res.ExtendedTag); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pulled user/hpcg:v1 on the %s system\n", sys.Name)
+	optTag, err := system.Adapt(res.DistTag, adapter.DefaultAdapted())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "hpcg" {
+			ref = r
+		}
+	}
+	out, err := system.Run(optTag, ref, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adapted image runs hpcg in %.2f s on %d nodes (binary: %s/%s)\n",
+		out.Seconds, 16, out.Binary.Toolchain, out.Binary.March)
+}

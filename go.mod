@@ -1,0 +1,3 @@
+module comtainer
+
+go 1.22

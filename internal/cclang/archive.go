@@ -1,0 +1,63 @@
+package cclang
+
+import (
+	"fmt"
+	"path"
+	"strings"
+)
+
+// ArchiveCommand is a parsed `ar` invocation — the compilation model of .a
+// nodes, which "represents the archive contents" (paper §4.3).
+type ArchiveCommand struct {
+	Tool    string
+	Ops     string   // the operation/modifier string, e.g. "rcs"
+	Archive string   // the .a file operated on
+	Members []string // object files added/replaced
+}
+
+// ParseArchive parses an ar command line such as "ar rcs libm.a a.o b.o".
+func ParseArchive(argv []string) (*ArchiveCommand, error) {
+	if len(argv) < 3 {
+		return nil, fmt.Errorf("cclang: ar needs an operation and an archive, got %v", argv)
+	}
+	if base := path.Base(argv[0]); base != "ar" && base != "llvm-ar" {
+		return nil, fmt.Errorf("cclang: %q is not an archiver", argv[0])
+	}
+	ops := strings.TrimPrefix(argv[1], "-")
+	if ops == "" {
+		return nil, fmt.Errorf("cclang: empty ar operation")
+	}
+	valid := "qrtpxdmabcfilNoPsSTuvV"
+	for _, c := range ops {
+		if !strings.ContainsRune(valid, c) {
+			return nil, fmt.Errorf("cclang: unknown ar modifier %q in %q", c, ops)
+		}
+	}
+	cmd := &ArchiveCommand{Tool: argv[0], Ops: ops, Archive: argv[2], Members: argv[3:]}
+	if !IsArchiveFile(cmd.Archive) {
+		return nil, fmt.Errorf("cclang: ar target %q is not a .a file", cmd.Archive)
+	}
+	return cmd, nil
+}
+
+// Render reproduces the argv of the archive command.
+func (a *ArchiveCommand) Render() []string {
+	out := []string{a.Tool, a.Ops, a.Archive}
+	return append(out, a.Members...)
+}
+
+// Creates reports whether the operation creates/updates the archive
+// (as opposed to only listing or extracting).
+func (a *ArchiveCommand) Creates() bool {
+	return strings.ContainsAny(a.Ops, "qr")
+}
+
+// IsArchiverTool reports whether the command name is an archiver.
+func IsArchiverTool(name string) bool {
+	switch path.Base(name) {
+	case "ar", "llvm-ar", "ranlib":
+		return true
+	default:
+		return false
+	}
+}

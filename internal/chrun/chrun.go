@@ -1,0 +1,71 @@
+// Package chrun executes container images on simulated HPC systems — the
+// role Charliecloud's ch-run plays in the paper's evaluation ("images ...
+// executed with Charliecloud on the remote HPC system", §5.1.1).
+//
+// Running an image flattens it, resolves the entrypoint binary, and feeds
+// the binary's artifact metadata plus the runtime file system to the
+// performance model. Running a PGO-instrumented binary additionally emits
+// profile data, closing the paper's automated PGO feedback loop.
+package chrun
+
+import (
+	"fmt"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/fsim"
+	"comtainer/internal/oci"
+	"comtainer/internal/perfmodel"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+	"comtainer/internal/workloads"
+)
+
+// Result is the outcome of one containerized run.
+type Result struct {
+	perfmodel.Result
+	// Profile holds PGO profile data when the binary was instrumented.
+	Profile []byte
+	// Binary is the executed artifact, for introspection.
+	Binary *toolchain.Artifact
+}
+
+// RunImage executes the image's entrypoint for the given workload.
+func RunImage(sys *sysprofile.System, ref workloads.Ref, img *oci.Image, nodes int) (Result, error) {
+	flat, err := img.Flatten()
+	if err != nil {
+		return Result{}, fmt.Errorf("chrun: flattening image: %w", err)
+	}
+	entry := img.Config.Config.Entrypoint
+	if len(entry) == 0 {
+		return Result{}, fmt.Errorf("chrun: image has no entrypoint; pass the program path explicitly")
+	}
+	return RunFS(sys, ref, flat, entry[0], nodes)
+}
+
+// RunFS executes the binary at binPath from an already-flattened root.
+func RunFS(sys *sysprofile.System, ref workloads.Ref, runFS *fsim.FS, binPath string, nodes int) (Result, error) {
+	resolved, err := runFS.ResolveSymlink(binPath)
+	if err != nil {
+		return Result{}, fmt.Errorf("chrun: %s: no such file or directory", binPath)
+	}
+	data, err := runFS.ReadFile(resolved)
+	if err != nil {
+		return Result{}, fmt.Errorf("chrun: %s: no such file or directory", binPath)
+	}
+	bin, err := toolchain.Decode(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("chrun: %s: cannot execute binary file", binPath)
+	}
+	res, err := perfmodel.Estimate(sys, ref, bin, runFS, nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Result: res, Binary: bin}
+	if bin.PGOInstrumented {
+		// Deterministic profile content: a function of the binary and the
+		// training workload, so repeated trial runs agree.
+		out.Profile = []byte(fmt.Sprintf("COMT-PROFILE v1\nbinary: %s\nworkload: %s\nsystem: %s\n",
+			digest.FromBytes(data), ref.ID(), sys.Name))
+	}
+	return out, nil
+}

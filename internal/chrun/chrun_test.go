@@ -1,0 +1,138 @@
+package chrun
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"comtainer/internal/dpkg"
+	"comtainer/internal/fsim"
+	"comtainer/internal/oci"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+	"comtainer/internal/workloads"
+)
+
+func refFor(t *testing.T, id string) workloads.Ref {
+	t.Helper()
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == id {
+			return r
+		}
+	}
+	t.Fatalf("no workload %s", id)
+	return workloads.Ref{}
+}
+
+// runRoot builds a minimal runnable root for comd on sys.
+func runRoot(t *testing.T, sys *sysprofile.System, instrumented bool) (*fsim.FS, string) {
+	t.Helper()
+	fs := fsim.New()
+	db := dpkg.NewDB()
+	idx := sysprofile.GenericIndex(sys.ISA)
+	for _, name := range []string{"libc6", "libm6", "libopenmpi3"} {
+		p, ok := idx.Latest(name)
+		if !ok {
+			t.Fatalf("missing package %s", name)
+		}
+		if err := db.InstallWithDeps(fs, idx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bin := &toolchain.Artifact{
+		Kind:      toolchain.KindExecutable,
+		Name:      "comd",
+		TargetISA: sys.ISA,
+		March:     "x86-64",
+		OptLevel:  "2",
+		DynamicLibs: []string{
+			"/usr/lib/libc.so.6", "/usr/lib/libm.so.6", "/usr/lib/libmpi.so.40",
+		},
+		PGOInstrumented: instrumented,
+	}
+	if sys.ISA == toolchain.ISAArm {
+		bin.March = "armv8-a"
+	}
+	fs.WriteFile("/app/comd", bin.Encode(), 0o755)
+	return fs, "/app/comd"
+}
+
+func TestRunFS(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	fs, bin := runRoot(t, sys, false)
+	res, err := RunFS(sys, refFor(t, "comd"), fs, bin, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 {
+		t.Errorf("Seconds = %f", res.Seconds)
+	}
+	if res.Profile != nil {
+		t.Error("non-instrumented run produced a profile")
+	}
+	if res.Binary == nil || res.Binary.Name != "comd" {
+		t.Errorf("Binary = %+v", res.Binary)
+	}
+}
+
+func TestRunImageEntrypoint(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	fs, bin := runRoot(t, sys, false)
+	repo := oci.NewRepository()
+	desc, err := oci.WriteImage(repo.Store, oci.ImageConfig{
+		Architecture: "amd64", OS: "linux",
+		Config: oci.ExecConfig{Entrypoint: []string{bin}},
+	}, []*fsim.FS{fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := oci.LoadImage(repo.Store, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunImage(sys, refFor(t, "comd"), img, 16); err != nil {
+		t.Fatal(err)
+	}
+	// No entrypoint -> error.
+	desc2, _ := oci.WriteImage(repo.Store, oci.ImageConfig{Architecture: "amd64", OS: "linux"}, []*fsim.FS{fs})
+	img2, _ := oci.LoadImage(repo.Store, desc2)
+	if _, err := RunImage(sys, refFor(t, "comd"), img2, 16); err == nil {
+		t.Error("image without entrypoint ran")
+	}
+}
+
+func TestInstrumentedRunEmitsDeterministicProfile(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	fs, bin := runRoot(t, sys, true)
+	ref := refFor(t, "comd")
+	r1, err := RunFS(sys, ref, fs, bin, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Profile) == 0 {
+		t.Fatal("instrumented run produced no profile")
+	}
+	r2, err := RunFS(sys, ref, fs, bin, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1.Profile, r2.Profile) {
+		t.Error("profile not deterministic")
+	}
+	if !strings.Contains(string(r1.Profile), "comd") {
+		t.Errorf("profile content: %q", r1.Profile)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	fs, _ := runRoot(t, sys, false)
+	ref := refFor(t, "comd")
+	if _, err := RunFS(sys, ref, fs, "/missing", 16); err == nil {
+		t.Error("missing binary ran")
+	}
+	fs.WriteFile("/app/notbinary", []byte("just text"), 0o755)
+	if _, err := RunFS(sys, ref, fs, "/app/notbinary", 16); err == nil {
+		t.Error("non-artifact file ran")
+	}
+}

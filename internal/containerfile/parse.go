@@ -1,0 +1,133 @@
+// Package containerfile implements a Dockerfile/Containerfile parser and a
+// multi-stage build engine executing against the fsim/oci substrates.
+//
+// This reproduces the conventional two-stage HPC image build of the paper's
+// Figure 2 — a `build` stage with toolchains compiling the application and
+// a `dist` stage assembled from the build stage's outputs — which the
+// coMtainer workflow then extends.
+package containerfile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instruction is one parsed Containerfile instruction.
+type Instruction struct {
+	Cmd  string   // canonical upper-case name: FROM, RUN, COPY, ...
+	Args []string // whitespace-split arguments (RUN keeps Raw authoritative)
+	Raw  string   // argument text exactly as written (joined continuations)
+	Line int      // 1-based line of the instruction
+}
+
+// Stage is one FROM-delimited build stage.
+type Stage struct {
+	Name         string // AS name, or its ordinal as a string
+	Index        int
+	BaseRef      string
+	Instructions []Instruction
+}
+
+// Containerfile is a parsed multi-stage build file.
+type Containerfile struct {
+	Stages []Stage
+}
+
+// StageByName finds a stage by AS name or ordinal string.
+func (cf *Containerfile) StageByName(name string) (*Stage, bool) {
+	for i := range cf.Stages {
+		if cf.Stages[i].Name == name || fmt.Sprint(cf.Stages[i].Index) == name {
+			return &cf.Stages[i], true
+		}
+	}
+	return nil, false
+}
+
+// knownInstructions lists the instruction set the engine understands.
+var knownInstructions = map[string]bool{
+	"FROM": true, "RUN": true, "COPY": true, "ADD": true, "ENV": true,
+	"WORKDIR": true, "ARG": true, "LABEL": true, "ENTRYPOINT": true,
+	"CMD": true, "USER": true, "EXPOSE": true, "VOLUME": true,
+}
+
+// Parse parses Containerfile text. Comment lines and blank lines are
+// skipped; a trailing backslash continues an instruction on the next line.
+func Parse(text string) (*Containerfile, error) {
+	cf := &Containerfile{}
+	lines := strings.Split(text, "\n")
+	i := 0
+	for i < len(lines) {
+		startLine := i + 1
+		line := strings.TrimSpace(lines[i])
+		i++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Join continuations.
+		for strings.HasSuffix(line, "\\") && i < len(lines) {
+			line = strings.TrimSuffix(line, "\\") + "\n" + strings.TrimSpace(lines[i])
+			i++
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		cmd := strings.ToUpper(word)
+		if !knownInstructions[cmd] {
+			return nil, fmt.Errorf("containerfile: line %d: unknown instruction %q", startLine, word)
+		}
+		rest = strings.TrimSpace(rest)
+		inst := Instruction{
+			Cmd:  cmd,
+			Args: strings.Fields(rest),
+			Raw:  rest,
+			Line: startLine,
+		}
+		if cmd == "FROM" {
+			name := ""
+			base := ""
+			switch {
+			case len(inst.Args) == 1:
+				base = inst.Args[0]
+			case len(inst.Args) == 3 && strings.EqualFold(inst.Args[1], "as"):
+				base, name = inst.Args[0], inst.Args[2]
+			default:
+				return nil, fmt.Errorf("containerfile: line %d: malformed FROM %q", startLine, rest)
+			}
+			idx := len(cf.Stages)
+			if name == "" {
+				name = fmt.Sprint(idx)
+			}
+			cf.Stages = append(cf.Stages, Stage{Name: name, Index: idx, BaseRef: base})
+			continue
+		}
+		if len(cf.Stages) == 0 {
+			return nil, fmt.Errorf("containerfile: line %d: %s before first FROM", startLine, cmd)
+		}
+		cur := &cf.Stages[len(cf.Stages)-1]
+		cur.Instructions = append(cur.Instructions, inst)
+	}
+	if len(cf.Stages) == 0 {
+		return nil, fmt.Errorf("containerfile: no FROM instruction")
+	}
+	return cf, nil
+}
+
+// Render reconstructs Containerfile text from the parsed form — used by the
+// cross-ISA adapter to materialize patched build scripts and by the Fig.-11
+// harness to count changed lines.
+func (cf *Containerfile) Render() string {
+	var b strings.Builder
+	for si, st := range cf.Stages {
+		if si > 0 {
+			b.WriteString("\n")
+		}
+		if st.Name != fmt.Sprint(st.Index) {
+			fmt.Fprintf(&b, "FROM %s AS %s\n", st.BaseRef, st.Name)
+		} else {
+			fmt.Fprintf(&b, "FROM %s\n", st.BaseRef)
+		}
+		for _, inst := range st.Instructions {
+			raw := strings.ReplaceAll(inst.Raw, "\n", " \\\n    ")
+			fmt.Fprintf(&b, "%s %s\n", inst.Cmd, raw)
+		}
+	}
+	return b.String()
+}

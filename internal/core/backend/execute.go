@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"comtainer/internal/core/model"
+	"comtainer/internal/fsim"
+	"comtainer/internal/toolchain"
+)
+
+// command is one distinct build invocation (nodes sharing a Seq collapse
+// into one command) with its dependency edges to other commands.
+type command struct {
+	seq  int
+	argv []string
+	cwd  string
+	deps map[int]bool // seqs that must complete first
+}
+
+// commandDAG projects the node-level build graph onto distinct commands.
+func commandDAG(g *model.BuildGraph) ([]*command, error) {
+	bySeq := map[int]*command{}
+	for _, n := range g.Nodes {
+		if n.Cmd == nil {
+			continue
+		}
+		c, ok := bySeq[n.Cmd.Seq]
+		if !ok {
+			c = &command{seq: n.Cmd.Seq, argv: n.Cmd.Argv, cwd: n.Cmd.Cwd, deps: map[int]bool{}}
+			bySeq[n.Cmd.Seq] = c
+		}
+		for _, depID := range n.Deps {
+			dep, ok := g.Node(depID)
+			if !ok {
+				return nil, fmt.Errorf("backend: node %s references missing dep %d", n.Path, depID)
+			}
+			if dep.Cmd != nil && dep.Cmd.Seq != n.Cmd.Seq {
+				c.deps[dep.Cmd.Seq] = true
+			}
+		}
+	}
+	out := make([]*command, 0, len(bySeq))
+	for _, c := range bySeq {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// executeGraph re-runs every product-generating command of the build
+// graph. Commands whose dependencies are satisfied run concurrently — the
+// rebuild has the whole HPC node to itself, and independent translation
+// units compile in parallel exactly as `make -j` would drive them.
+// Outputs are disjoint per command, so the resulting file system state is
+// deterministic regardless of scheduling.
+func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry) error {
+	if _, err := g.Topo(); err != nil {
+		return err
+	}
+	cmds, err := commandDAG(g)
+	if err != nil {
+		return err
+	}
+	pending := make(map[int]*command, len(cmds))
+	for _, c := range cmds {
+		pending[c.seq] = c
+	}
+	done := make(map[int]bool, len(cmds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	for len(pending) > 0 {
+		// Collect the ready front.
+		var ready []*command
+		for _, c := range pending {
+			ok := true
+			for dep := range c.deps {
+				if !done[dep] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, c)
+			}
+		}
+		if len(ready) == 0 {
+			return fmt.Errorf("backend: build graph commands deadlocked (%d unrunnable)", len(pending))
+		}
+		sort.Slice(ready, func(i, j int) bool { return ready[i].seq < ready[j].seq })
+
+		// Run the front with a bounded worker pool.
+		sem := make(chan struct{}, workers)
+		errMu := sync.Mutex{}
+		var firstErr error
+		var wg sync.WaitGroup
+		for _, c := range ready {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(c *command) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runner := toolchain.NewRunner(fs, reg)
+				fs.MkdirAll(c.cwd, 0o755)
+				runner.Cwd = fsim.Clean(c.cwd)
+				if err := runner.Run(c.argv); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("backend: re-executing %q: %w", strings.Join(c.argv, " "), err)
+					}
+					errMu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+		for _, c := range ready {
+			done[c.seq] = true
+			delete(pending, c.seq)
+		}
+	}
+	return nil
+}

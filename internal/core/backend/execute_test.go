@@ -1,0 +1,124 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"comtainer/internal/core/model"
+	"comtainer/internal/fsim"
+	"comtainer/internal/toolchain"
+)
+
+// wideGraph builds a graph with many independent compiles feeding one
+// link — the shape that exercises the parallel executor.
+func wideGraph(n int) (*model.BuildGraph, *fsim.FS) {
+	g := model.NewBuildGraph()
+	fs := fsim.New()
+	var objIDs []model.NodeID
+	linkArgv := []string{"gcc"}
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("/w/u%02d.c", i)
+		obj := fmt.Sprintf("/w/u%02d.o", i)
+		fs.WriteFile(src, []byte(fmt.Sprintf("int f%d(void){return %d;}\n", i, i)), 0o644)
+		s := g.AddSource(src)
+		g.AddProduct(obj, model.KindObject,
+			&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-O2", "-c", src, "-o", obj}, Cwd: "/w", Seq: i},
+			[]model.NodeID{s.ID})
+		objIDs = append(objIDs, g.Nodes[len(g.Nodes)-1].ID)
+		linkArgv = append(linkArgv, obj)
+	}
+	linkArgv = append(linkArgv, "-o", "/w/app")
+	g.AddProduct("/w/app", model.KindExecutable,
+		&model.CompilationModel{Kind: "cc", Argv: linkArgv, Cwd: "/w", Seq: n},
+		objIDs)
+	return g, fs
+}
+
+func TestExecuteGraphParallelWideFanOut(t *testing.T) {
+	g, fs := wideGraph(40)
+	reg := toolchain.GenericRegistry(toolchain.ISAx86)
+	if err := executeGraph(g, fs, reg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/w/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := toolchain.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Sources) != 40 {
+		t.Errorf("linked %d sources, want 40", len(art.Sources))
+	}
+}
+
+func TestExecuteGraphDeterministicAcrossRuns(t *testing.T) {
+	reg := toolchain.GenericRegistry(toolchain.ISAx86)
+	run := func() *fsim.FS {
+		g, fs := wideGraph(24)
+		if err := executeGraph(g, fs, reg); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Error("parallel execution produced different file systems")
+	}
+}
+
+func TestExecuteGraphPropagatesErrors(t *testing.T) {
+	g := model.NewBuildGraph()
+	s := g.AddSource("/w/missing.c")
+	g.AddProduct("/w/x.o", model.KindObject,
+		&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-c", "/w/missing.c", "-o", "/w/x.o"}, Cwd: "/w", Seq: 0},
+		[]model.NodeID{s.ID})
+	err := executeGraph(g, fsim.New(), toolchain.GenericRegistry(toolchain.ISAx86))
+	if err == nil || !strings.Contains(err.Error(), "no such file") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCommandDAGDedupesSharedCommands(t *testing.T) {
+	// Two object nodes produced by one `gcc -c a.c b.c` invocation share
+	// a Seq; the DAG must hold one command.
+	g := model.NewBuildGraph()
+	sa := g.AddSource("/w/a.c")
+	sb := g.AddSource("/w/b.c")
+	cm := &model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-c", "a.c", "b.c"}, Cwd: "/w", Seq: 7}
+	g.AddProduct("/w/a.o", model.KindObject, cm, []model.NodeID{sa.ID})
+	g.AddProduct("/w/b.o", model.KindObject, cm, []model.NodeID{sb.ID})
+	cmds, err := commandDAG(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 || cmds[0].seq != 7 {
+		t.Errorf("commands = %+v", cmds)
+	}
+}
+
+func TestCommandDAGDependencyEdges(t *testing.T) {
+	g := model.NewBuildGraph()
+	s := g.AddSource("/w/a.c")
+	obj := g.AddProduct("/w/a.o", model.KindObject,
+		&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-c", "a.c"}, Cwd: "/w", Seq: 0},
+		[]model.NodeID{s.ID})
+	g.AddProduct("/w/app", model.KindExecutable,
+		&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "a.o", "-o", "app"}, Cwd: "/w", Seq: 1},
+		[]model.NodeID{obj.ID})
+	cmds, err := commandDAG(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 2 {
+		t.Fatalf("commands = %d", len(cmds))
+	}
+	if !cmds[1].deps[0] {
+		t.Error("link command missing dependency on compile command")
+	}
+	if len(cmds[0].deps) != 0 {
+		t.Error("compile command has spurious deps")
+	}
+}

@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+)
+
+const plainSource = `/* lulesh: translation unit 1 of 4 */
+#include "lulesh.h"
+#ifndef COMT_PORTABLE
+__asm__("vendor-intrinsics"); /* isa:x86-64 */
+#else
+/* portable scalar fallback */
+#endif
+int main(int argc, char **argv) { return lulesh_run(argc, argv); }
+static const double lulesh_c0_0 = 0.0000;
+static const double secret_tuning_constant = 3.14159;
+`
+
+func TestObfuscatePreservesSemanticLines(t *testing.T) {
+	out := string(ObfuscateSource("/app/src/lulesh_00.cc", []byte(plainSource)))
+	if !IsObfuscated([]byte(out)) {
+		t.Fatal("output not marked obfuscated")
+	}
+	for _, must := range []string{
+		"#ifndef COMT_PORTABLE",
+		`__asm__("vendor-intrinsics"); /* isa:x86-64 */`,
+		"#endif",
+		"#include",
+		"int main",
+	} {
+		if !strings.Contains(out, must) {
+			t.Errorf("semantic line lost: %q", must)
+		}
+	}
+	// The IP-bearing identifier is gone.
+	if strings.Contains(out, "secret_tuning_constant") || strings.Contains(out, "3.14159") {
+		t.Error("identifier/constant survived obfuscation")
+	}
+}
+
+func TestObfuscateDeterministicAndLinePreserving(t *testing.T) {
+	a := ObfuscateSource("/p.c", []byte(plainSource))
+	b := ObfuscateSource("/p.c", []byte(plainSource))
+	if string(a) != string(b) {
+		t.Error("obfuscation not deterministic")
+	}
+	// Different paths yield different tokens (no cross-file correlation).
+	c := ObfuscateSource("/q.c", []byte(plainSource))
+	if string(a) == string(c) {
+		t.Error("obfuscation ignores the file path")
+	}
+	// Line count grows by exactly the header line.
+	inLines := strings.Count(plainSource, "\n")
+	outLines := strings.Count(string(a), "\n")
+	if outLines != inLines+1 {
+		t.Errorf("line count %d -> %d, want +1", inLines, outLines)
+	}
+}
+
+func TestObfuscatedCacheRoundTrip(t *testing.T) {
+	repo, distTag := distRepo(t)
+	m := sampleModels()
+	buildFS := sampleBuildFS()
+	buildFS.WriteFile("/w/src/a.c",
+		[]byte("double proprietary_kernel(double x){return x*1.2345;}\n"), 0o644)
+	if _, err := ExtendWith(repo, distTag, m, buildFS, Options{Obfuscate: true}); err != nil {
+		t.Fatal(err)
+	}
+	extImg, err := repo.LoadByTag(ExtendedTag(distTag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srcFS, err := Read(extImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := srcFS.ReadFile("/w/src/a.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsObfuscated(data) {
+		t.Error("cached source not obfuscated")
+	}
+	if strings.Contains(string(data), "proprietary_kernel") {
+		t.Error("original code text leaked into the cache")
+	}
+}

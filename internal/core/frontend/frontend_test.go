@@ -1,0 +1,235 @@
+package frontend
+
+import (
+	"testing"
+
+	"comtainer/internal/containerfile"
+	"comtainer/internal/core/model"
+	"comtainer/internal/fsim"
+	"comtainer/internal/hijack"
+	"comtainer/internal/oci"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+)
+
+// buildPair runs a two-stage build and returns (buildImg, distImg).
+func buildPair(t *testing.T, cfText string, extraCtx func(*fsim.FS)) (*oci.Image, *oci.Image) {
+	t.Helper()
+	repo := oci.NewRepository()
+	if err := sysprofile.PopulateUserSide(repo, toolchain.ISAx86); err != nil {
+		t.Fatal(err)
+	}
+	ctx := fsim.New()
+	ctx.WriteFile("/src/main.c", []byte("int main(){return 0;}\n"), 0o644)
+	ctx.WriteFile("/src/phys.c", []byte("double e(double m){return m*9e16;}\n"), 0o644)
+	ctx.WriteFile("/data/input.dat", []byte("grid=64\n"), 0o644)
+	if extraCtx != nil {
+		extraCtx(ctx)
+	}
+	b := &containerfile.Builder{
+		Repo:     repo,
+		Context:  ctx,
+		Registry: toolchain.GenericRegistry(toolchain.ISAx86),
+		AptIndex: sysprofile.GenericIndex(toolchain.ISAx86),
+		Recorder: hijack.NewRecorder(),
+	}
+	cf, err := containerfile.Parse(cfText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildDesc, err := b.Build(cf, "build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distDesc, err := b.Build(cf, "dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildImg, err := oci.LoadImage(repo.Store, buildDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distImg, err := oci.LoadImage(repo.Store, distDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildImg, distImg
+}
+
+const demoCF = `
+FROM comt:ubuntu24.env AS build
+RUN apt-get install -y build-essential libopenmpi3
+COPY src /w/src
+WORKDIR /w/src
+RUN gcc -O2 -c main.c && gcc -O2 -c phys.c
+RUN ar rcs libphys.a phys.o
+RUN gcc main.o -L. -lphys -lmpi -o /w/demo
+COPY data /w/data
+
+FROM comt:ubuntu24.base AS dist
+RUN apt-get install -y libopenmpi3
+COPY --from=build /w/demo /app/demo
+COPY --from=build /w/data /app/data
+ENTRYPOINT ["/app/demo"]
+`
+
+func TestAnalyzeGraphShape(t *testing.T) {
+	buildImg, distImg := buildPair(t, demoCF, nil)
+	m, buildFS, err := Analyze(buildImg, distImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: 2 sources, 2 objects, 1 archive, 1 executable.
+	if m.Graph.Len() != 6 {
+		t.Errorf("graph has %d nodes", m.Graph.Len())
+	}
+	exe, ok := m.Graph.ByPath("/w/demo")
+	if !ok || exe.Kind != model.KindExecutable {
+		t.Fatalf("executable node = %+v, %v", exe, ok)
+	}
+	ar, ok := m.Graph.ByPath("/w/src/libphys.a")
+	if !ok || ar.Kind != model.KindArchive {
+		t.Fatalf("archive node = %+v", ar)
+	}
+	// exe depends on main.o and the archive.
+	depPaths := map[string]bool{}
+	for _, d := range exe.Deps {
+		n, _ := m.Graph.Node(d)
+		depPaths[n.Path] = true
+	}
+	if !depPaths["/w/src/main.o"] || !depPaths["/w/src/libphys.a"] {
+		t.Errorf("exe deps = %v", depPaths)
+	}
+	if err := m.Graph.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Sources collected and present.
+	if len(m.SourcePaths) != 2 {
+		t.Errorf("SourcePaths = %v", m.SourcePaths)
+	}
+	for _, p := range m.SourcePaths {
+		if !buildFS.Exists(p) {
+			t.Errorf("source %s missing", p)
+		}
+	}
+	if m.BuildISA != toolchain.ISAx86 {
+		t.Errorf("BuildISA = %q", m.BuildISA)
+	}
+}
+
+func TestAnalyzeClassification(t *testing.T) {
+	buildImg, distImg := buildPair(t, demoCF, nil)
+	m, _, err := Analyze(buildImg, distImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary: build origin, mapped back to the build container path.
+	fe, ok := m.Image.File("/app/demo")
+	if !ok || fe.Origin != model.OriginBuild {
+		t.Errorf("/app/demo = %+v", fe)
+	}
+	if m.Installed["/app/demo"] != "/w/demo" {
+		t.Errorf("Installed = %v", m.Installed)
+	}
+	// Base-image file.
+	fe, ok = m.Image.File("/usr/lib/libc.so.6")
+	if !ok || fe.Origin != model.OriginBase {
+		t.Errorf("libc = %+v", fe)
+	}
+	// apt-installed file (not in the dist base image).
+	fe, ok = m.Image.File("/usr/lib/libmpi.so.40")
+	if !ok || fe.Origin != model.OriginPackage || fe.Package != "libopenmpi3" {
+		t.Errorf("libmpi = %+v", fe)
+	}
+	// Data file.
+	fe, ok = m.Image.File("/app/data/input.dat")
+	if !ok || fe.Origin != model.OriginData {
+		t.Errorf("data = %+v", fe)
+	}
+	// Package list includes both preinstalled and apt-added packages.
+	names := map[string]bool{}
+	for _, p := range m.Image.Packages {
+		names[p.Name] = true
+	}
+	if !names["libc6"] || !names["libopenmpi3"] {
+		t.Errorf("packages = %v", m.Image.Packages)
+	}
+	counts := m.Image.CountByOrigin()
+	if counts[model.OriginBase] == 0 || counts[model.OriginBuild] == 0 {
+		t.Errorf("origin counts = %v", counts)
+	}
+}
+
+func TestAnalyzeRequiresRawLog(t *testing.T) {
+	// Build on the stock base image (no Env role) — no log is persisted.
+	noEnvCF := `
+FROM ubuntu:24.04 AS build
+RUN mkdir /w
+
+FROM comt:ubuntu24.base AS dist
+ENV X=1
+`
+	buildImg, distImg := buildPair(t, noEnvCF, nil)
+	if _, _, err := Analyze(buildImg, distImg); err == nil {
+		t.Error("analysis without a raw build log succeeded")
+	}
+}
+
+func TestAnalyzeUnknownOrigin(t *testing.T) {
+	// An artifact in the dist image that no recorded command produced
+	// (here: copied from the context pre-built) classifies as unknown.
+	cf := `
+FROM comt:ubuntu24.env AS build
+COPY src /w/src
+WORKDIR /w/src
+RUN gcc -O2 -c main.c && gcc main.o -o /w/demo
+
+FROM comt:ubuntu24.base AS dist
+COPY --from=build /w/demo /app/demo
+COPY prebuilt.bin /app/mystery
+`
+	mystery := toolchain.LibraryArtifact("libmystery", "unknown", toolchain.ISAx86, 1, false)
+	buildImg, distImg := buildPair(t, cf, func(ctx *fsim.FS) {
+		ctx.WriteFile("/prebuilt.bin", mystery.Encode(), 0o644)
+	})
+	m, _, err := Analyze(buildImg, distImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, ok := m.Image.File("/app/mystery")
+	if !ok || fe.Origin != model.OriginUnknown {
+		t.Errorf("/app/mystery = %+v", fe)
+	}
+}
+
+func TestAnalyzeSharedObjectNode(t *testing.T) {
+	cf := `
+FROM comt:ubuntu24.env AS build
+COPY src /w/src
+WORKDIR /w/src
+RUN gcc -O2 -fPIC -c phys.c
+RUN gcc -shared phys.o -o libphys.so
+RUN gcc -O2 -c main.c && gcc main.o -L. -lphys -o /w/demo
+
+FROM comt:ubuntu24.base AS dist
+COPY --from=build /w/demo /app/demo
+COPY --from=build /w/src/libphys.so /usr/local/lib/libphys.so
+`
+	buildImg, distImg := buildPair(t, cf, nil)
+	m, _, err := Analyze(buildImg, distImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, ok := m.Graph.ByPath("/w/src/libphys.so")
+	if !ok || so.Kind != model.KindSharedObj {
+		t.Fatalf("shared object node = %+v", so)
+	}
+	// Both installed products map back.
+	if m.Installed["/usr/local/lib/libphys.so"] != "/w/src/libphys.so" {
+		t.Errorf("Installed = %v", m.Installed)
+	}
+	fe, _ := m.Image.File("/usr/local/lib/libphys.so")
+	if fe.Origin != model.OriginBuild {
+		t.Errorf("libphys.so origin = %s", fe.Origin)
+	}
+}

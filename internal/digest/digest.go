@@ -1,0 +1,131 @@
+// Package digest implements content addressing for OCI blobs.
+//
+// A Digest is the algorithm-prefixed lowercase hex encoding of a hash of
+// blob content, e.g. "sha256:6c3c624b58db...". Only sha256 is supported,
+// matching what the OCI image spec requires of all implementations.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+)
+
+// Algorithm identifies a supported hash algorithm.
+type Algorithm string
+
+// SHA256 is the only algorithm this implementation emits.
+const SHA256 Algorithm = "sha256"
+
+// Digest is an algorithm-qualified content hash such as "sha256:abcd...".
+// The zero value is invalid.
+type Digest string
+
+// ErrInvalid reports a malformed digest string.
+var ErrInvalid = errors.New("digest: invalid format")
+
+// FromBytes computes the sha256 digest of b.
+func FromBytes(b []byte) Digest {
+	sum := sha256.Sum256(b)
+	return Digest("sha256:" + hex.EncodeToString(sum[:]))
+}
+
+// FromString computes the sha256 digest of s.
+func FromString(s string) Digest {
+	return FromBytes([]byte(s))
+}
+
+// FromReader computes the sha256 digest of everything readable from r.
+func FromReader(r io.Reader) (Digest, int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return "", 0, fmt.Errorf("digest: reading content: %w", err)
+	}
+	return Digest("sha256:" + hex.EncodeToString(h.Sum(nil))), n, nil
+}
+
+// Parse validates s and returns it as a Digest.
+func Parse(s string) (Digest, error) {
+	d := Digest(s)
+	if err := d.Validate(); err != nil {
+		return "", err
+	}
+	return d, nil
+}
+
+// Validate checks that d has the form "sha256:<64 lowercase hex chars>".
+func (d Digest) Validate() error {
+	algo, hexPart, ok := strings.Cut(string(d), ":")
+	if !ok {
+		return fmt.Errorf("%w: missing ':' in %q", ErrInvalid, string(d))
+	}
+	if Algorithm(algo) != SHA256 {
+		return fmt.Errorf("%w: unsupported algorithm %q", ErrInvalid, algo)
+	}
+	if len(hexPart) != sha256.Size*2 {
+		return fmt.Errorf("%w: want %d hex chars, got %d", ErrInvalid, sha256.Size*2, len(hexPart))
+	}
+	for _, c := range hexPart {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("%w: non-hex character %q", ErrInvalid, c)
+		}
+	}
+	return nil
+}
+
+// Algorithm returns the algorithm portion of the digest.
+func (d Digest) Algorithm() Algorithm {
+	algo, _, _ := strings.Cut(string(d), ":")
+	return Algorithm(algo)
+}
+
+// Hex returns the hex portion of the digest (without the algorithm prefix).
+func (d Digest) Hex() string {
+	_, hexPart, _ := strings.Cut(string(d), ":")
+	return hexPart
+}
+
+// Short returns a 12-character abbreviation of the hex portion, the common
+// human-facing form. Returns the whole hex part if shorter.
+func (d Digest) Short() string {
+	h := d.Hex()
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// String returns the full "algorithm:hex" form.
+func (d Digest) String() string { return string(d) }
+
+// Verify reports whether content hashes to d.
+func (d Digest) Verify(content []byte) bool {
+	return FromBytes(content) == d
+}
+
+// Verifier incrementally hashes written content and reports whether the
+// final hash matches an expected digest.
+type Verifier struct {
+	want Digest
+	h    hash.Hash
+}
+
+// NewVerifier returns a Verifier checking against want.
+func NewVerifier(want Digest) *Verifier {
+	return &Verifier{want: want, h: sha256.New()}
+}
+
+// Write feeds content into the verifier. It never fails.
+func (v *Verifier) Write(p []byte) (int, error) { return v.h.Write(p) }
+
+// Verified reports whether all content written so far hashes to the
+// expected digest.
+func (v *Verifier) Verified() bool {
+	got := Digest("sha256:" + hex.EncodeToString(v.h.Sum(nil)))
+	return got == v.want
+}

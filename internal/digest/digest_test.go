@@ -1,0 +1,142 @@
+package digest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesKnownVector(t *testing.T) {
+	// sha256 of empty input is a well-known constant.
+	const empty = "sha256:e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	if got := FromBytes(nil); got != Digest(empty) {
+		t.Errorf("FromBytes(nil) = %s, want %s", got, empty)
+	}
+	const abc = "sha256:ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+	if got := FromBytes([]byte("abc")); got != Digest(abc) {
+		t.Errorf("FromBytes(abc) = %s, want %s", got, abc)
+	}
+}
+
+func TestFromStringMatchesFromBytes(t *testing.T) {
+	if FromString("hello") != FromBytes([]byte("hello")) {
+		t.Error("FromString and FromBytes disagree")
+	}
+}
+
+func TestFromReader(t *testing.T) {
+	d, n, err := FromReader(strings.NewReader("abc"))
+	if err != nil {
+		t.Fatalf("FromReader: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	if d != FromBytes([]byte("abc")) {
+		t.Errorf("digest mismatch: %s", d)
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	d := FromBytes([]byte("x"))
+	got, err := Parse(string(d))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", d, err)
+	}
+	if got != d {
+		t.Errorf("Parse = %s, want %s", got, d)
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"sha256",
+		"sha256:",
+		"sha256:short",
+		"md5:d41d8cd98f00b204e9800998ecf8427e",
+		"sha256:" + strings.Repeat("Z", 64),
+		"sha256:" + strings.Repeat("A", 64), // uppercase hex rejected
+		strings.Repeat("a", 64),             // no algorithm
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := FromBytes([]byte("payload"))
+	if d.Algorithm() != SHA256 {
+		t.Errorf("Algorithm = %q", d.Algorithm())
+	}
+	if len(d.Hex()) != 64 {
+		t.Errorf("Hex length = %d", len(d.Hex()))
+	}
+	if len(d.Short()) != 12 {
+		t.Errorf("Short length = %d", len(d.Short()))
+	}
+	if !strings.HasPrefix(d.String(), "sha256:") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestVerify(t *testing.T) {
+	content := []byte("some bytes")
+	d := FromBytes(content)
+	if !d.Verify(content) {
+		t.Error("Verify rejected matching content")
+	}
+	if d.Verify([]byte("other bytes")) {
+		t.Error("Verify accepted mismatched content")
+	}
+}
+
+func TestVerifier(t *testing.T) {
+	content := []byte("streaming content for the verifier")
+	v := NewVerifier(FromBytes(content))
+	// Feed in two chunks to exercise incremental hashing.
+	if _, err := v.Write(content[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if v.Verified() {
+		t.Error("Verified true before all content written")
+	}
+	if _, err := v.Write(content[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Verified() {
+		t.Error("Verified false after all content written")
+	}
+}
+
+func TestPropertyDeterministicAndParseable(t *testing.T) {
+	f := func(b []byte) bool {
+		d1 := FromBytes(b)
+		d2 := FromBytes(bytes.Clone(b))
+		if d1 != d2 {
+			return false
+		}
+		if err := d1.Validate(); err != nil {
+			return false
+		}
+		return d1.Verify(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDistinctContentDistinctDigest(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		return FromBytes(a) != FromBytes(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

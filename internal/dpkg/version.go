@@ -1,0 +1,158 @@
+// Package dpkg implements a Debian-style package management model: version
+// ordering, package metadata, repository indexes, dependency resolution,
+// and an installed-package database stored inside an image file system
+// (/var/lib/dpkg) exactly where coMtainer's front-end looks for it.
+//
+// The paper relies on dpkg/apt data "inside the image ... parsed further to
+// get the dependency list needed by the image model" (§4.5), and on package
+// replacement as the `libo` optimization (§4.4): swapping default-stack
+// packages for system-side optimized equivalents of the same name.
+package dpkg
+
+import (
+	"strings"
+)
+
+// Version is a Debian package version string: [epoch:]upstream[-revision].
+type Version string
+
+// Epoch returns the numeric epoch prefix (0 when absent).
+func (v Version) Epoch() string {
+	if i := strings.IndexByte(string(v), ':'); i >= 0 {
+		return string(v)[:i]
+	}
+	return "0"
+}
+
+// upstreamAndRevision splits off the epoch and returns the upstream version
+// and the Debian revision (empty when absent).
+func (v Version) upstreamAndRevision() (string, string) {
+	s := string(v)
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[i+1:]
+	}
+	if i := strings.LastIndexByte(s, '-'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}
+
+// Compare orders two versions by the Debian algorithm. It returns -1, 0 or
+// +1 as v is earlier than, equal to, or later than other.
+func (v Version) Compare(other Version) int {
+	if c := compareNumericString(v.Epoch(), other.Epoch()); c != 0 {
+		return c
+	}
+	au, ar := v.upstreamAndRevision()
+	bu, br := other.upstreamAndRevision()
+	if c := compareDebianPart(au, bu); c != 0 {
+		return c
+	}
+	return compareDebianPart(ar, br)
+}
+
+// Less reports whether v sorts strictly before other.
+func (v Version) Less(other Version) bool { return v.Compare(other) < 0 }
+
+// compareNumericString compares two decimal strings as integers without
+// overflow concerns.
+func compareNumericString(a, b string) int {
+	a = strings.TrimLeft(a, "0")
+	b = strings.TrimLeft(b, "0")
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a, b)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// charOrder assigns the Debian sort weight of a character at a string
+// position (or end of string): '~' sorts before everything including end
+// of string, end of string and digits weigh 0, letters sort before
+// non-letters, and otherwise byte order (shifted past the letters) applies.
+func charOrder(s string, i int) int {
+	if i >= len(s) {
+		return 0
+	}
+	c := s[i]
+	switch {
+	case isDigit(c):
+		return 0
+	case c == '~':
+		return -1
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		return int(c)
+	default:
+		return int(c) + 256
+	}
+}
+
+// compareDebianPart implements dpkg's verrevcmp: alternate comparing runs
+// of non-digits (by charOrder) and runs of digits (numerically).
+func compareDebianPart(a, b string) int {
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		// Non-digit run.
+		for (i < len(a) && !isDigit(a[i])) || (j < len(b) && !isDigit(b[j])) {
+			ca, cb := charOrder(a, i), charOrder(b, j)
+			if ca != cb {
+				if ca < cb {
+					return -1
+				}
+				return 1
+			}
+			i++
+			j++
+		}
+		// Digit run, compared numerically.
+		si, sj := i, j
+		for i < len(a) && isDigit(a[i]) {
+			i++
+		}
+		for j < len(b) && isDigit(b[j]) {
+			j++
+		}
+		if c := compareNumericString(a[si:i], b[sj:j]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// ConstraintOp is a dependency version relation.
+type ConstraintOp string
+
+// Debian relationship operators.
+const (
+	OpAny ConstraintOp = ""   // any version
+	OpLT  ConstraintOp = "<<" // strictly earlier
+	OpLE  ConstraintOp = "<=" // earlier or equal
+	OpEQ  ConstraintOp = "="  // exactly equal
+	OpGE  ConstraintOp = ">=" // later or equal
+	OpGT  ConstraintOp = ">>" // strictly later
+)
+
+// Satisfies reports whether version v satisfies the relation (op, want).
+func (v Version) Satisfies(op ConstraintOp, want Version) bool {
+	c := v.Compare(want)
+	switch op {
+	case OpAny:
+		return true
+	case OpLT:
+		return c < 0
+	case OpLE:
+		return c <= 0
+	case OpEQ:
+		return c == 0
+	case OpGE:
+		return c >= 0
+	case OpGT:
+		return c > 0
+	default:
+		return false
+	}
+}

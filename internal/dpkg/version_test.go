@@ -1,0 +1,135 @@
+package dpkg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareKnownOrderings(t *testing.T) {
+	// Each pair (a, b) asserts a < b.
+	less := [][2]Version{
+		{"1.0", "1.1"},
+		{"1.0", "2.0"},
+		{"1.9", "1.10"},    // numeric, not lexicographic
+		{"1.0~rc1", "1.0"}, // tilde sorts before release
+		{"1.0~rc1", "1.0~rc2"},
+		{"1.0", "1.0a"},
+		{"1.0-1", "1.0-2"},
+		{"1.0-1", "1.0.1-1"},
+		{"1:0.9", "2:0.1"},      // epoch dominates
+		{"0.9", "1:0.1"},        // implicit epoch 0
+		{"1.0-1", "1.0-1.1"},    // revision comparison
+		{"2.36-9", "2.36-9+b1"}, // binNMU suffix
+		{"1.0+dfsg-1", "1.0+dfsg-2"},
+		{"3.12.0-3", "3.12.1-1"},
+		{"1.0-alpha", "1.0-beta"},
+		{"12.3.0-1ubuntu1", "12.3.0-1ubuntu2"},
+	}
+	for _, pair := range less {
+		a, b := pair[0], pair[1]
+		if c := a.Compare(b); c != -1 {
+			t.Errorf("Compare(%q, %q) = %d, want -1", a, b, c)
+		}
+		if c := b.Compare(a); c != 1 {
+			t.Errorf("Compare(%q, %q) = %d, want 1", b, a, c)
+		}
+		if !a.Less(b) || b.Less(a) {
+			t.Errorf("Less(%q, %q) inconsistent", a, b)
+		}
+	}
+}
+
+func TestCompareEqual(t *testing.T) {
+	pairs := [][2]Version{
+		{"1.0", "1.0"},
+		{"0:1.0", "1.0"}, // explicit epoch 0 == implicit
+		{"1.0-1", "1.0-1"},
+		{"00:1.0", "0:1.0"},
+	}
+	for _, p := range pairs {
+		if c := p[0].Compare(p[1]); c != 0 {
+			t.Errorf("Compare(%q, %q) = %d, want 0", p[0], p[1], c)
+		}
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	cases := []struct {
+		v    Version
+		op   ConstraintOp
+		want Version
+		ok   bool
+	}{
+		{"2.36", OpGE, "2.36", true},
+		{"2.36", OpGE, "2.37", false},
+		{"2.36", OpGT, "2.36", false},
+		{"2.37", OpGT, "2.36", true},
+		{"2.36", OpLE, "2.36", true},
+		{"2.36", OpLT, "2.36", false},
+		{"2.35", OpLT, "2.36", true},
+		{"2.36", OpEQ, "2.36", true},
+		{"2.36", OpEQ, "2.36-1", false},
+		{"anything", OpAny, "", true},
+	}
+	for _, c := range cases {
+		if got := c.v.Satisfies(c.op, c.want); got != c.ok {
+			t.Errorf("%q Satisfies(%q %q) = %v, want %v", c.v, c.op, c.want, got, c.ok)
+		}
+	}
+}
+
+// randVersion builds a plausible pseudo-random version string.
+func randVersion(rng *rand.Rand) Version {
+	parts := []string{"0", "1", "2", "10", "3.12", "1.0~rc", "2.36", "9a", "1.0+dfsg"}
+	v := parts[rng.Intn(len(parts))]
+	if rng.Intn(2) == 0 {
+		v = string(rune('0'+rng.Intn(3))) + ":" + v
+	}
+	if rng.Intn(2) == 0 {
+		v += "-" + parts[rng.Intn(len(parts))]
+	}
+	return Version(v)
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVersion(rng), randVersion(rng)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randVersion(rng)
+		return a.Compare(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVersion(rng), randVersion(rng), randVersion(rng)
+		// Sort the triple by Compare and verify pairwise consistency.
+		vs := []Version{a, b, c}
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if vs[j].Less(vs[i]) {
+					vs[i], vs[j] = vs[j], vs[i]
+				}
+			}
+		}
+		return vs[0].Compare(vs[1]) <= 0 && vs[1].Compare(vs[2]) <= 0 && vs[0].Compare(vs[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

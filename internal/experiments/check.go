@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckResult is one verified claim: a paper-reported quantity, this
+// run's measured value, and whether it lands inside the acceptance band.
+type CheckResult struct {
+	Experiment string
+	Claim      string
+	Paper      string
+	Measured   string
+	OK         bool
+}
+
+// Check regenerates every experiment and verifies the paper's headline
+// claims against the measured output — the artifact-evaluation pass in
+// one call. It returns one result per claim; any !OK result means the
+// reproduction drifted.
+func Check(env *Environment) ([]CheckResult, error) {
+	var out []CheckResult
+	add := func(exp, claim, paper string, measured float64, lo, hi float64, format string) {
+		out = append(out, CheckResult{
+			Experiment: exp,
+			Claim:      claim,
+			Paper:      paper,
+			Measured:   fmt.Sprintf(format, measured),
+			OK:         measured >= lo && measured <= hi,
+		})
+	}
+
+	// Figure 3.
+	f3, err := Figure3(env)
+	if err != nil {
+		return nil, err
+	}
+	add("figure 3", "libo+cxxo time cut, x86-64", "~50%", (1-f3[0].Cxxo/f3[0].Cost)*100, 42, 58, "%.1f%%")
+	add("figure 3", "libo+cxxo time cut, aarch64", "~72%", (1-f3[1].Cxxo/f3[1].Cost)*100, 64, 80, "%.1f%%")
+	add("figure 3", "extra LTO gain, x86-64", "17.5%", (f3[0].Cxxo/f3[0].LTO-1)*100, 12, 24, "%.1f%%")
+	add("figure 3", "extra PGO gain, x86-64", "9.6%", (f3[0].LTO/f3[0].PGO-1)*100, 6, 14, "%.1f%%")
+
+	// Figures 9/10.
+	type sysBand struct {
+		name               string
+		improvLo, improvHi float64
+		improvPaper        string
+		nativeLo, nativeHi float64
+		nativePaper        string
+		ltoLo, ltoHi       float64
+		ltoPaper           string
+		best, worst        string
+	}
+	bands := []sysBand{
+		{"x86-64", 75, 125, "96.3%", 19, 24, "21.35 s", 4, 13, "+8%", "openmx.pt13", "lammps.chain"},
+		{"aarch64", 50, 90, "66.5%", 60, 75, "67.0 s", 2, 10, "+5.6%", "lammps.lj", "hpcg"},
+	}
+	for _, band := range bands {
+		rows, err := Figure9(env, band.name)
+		if err != nil {
+			return nil, err
+		}
+		a := Averages(rows)
+		add("figure 9", "avg improvement, "+band.name, band.improvPaper, a.AvgImprovement*100,
+			band.improvLo, band.improvHi, "%.1f%%")
+		add("figure 9", "native avg time, "+band.name, band.nativePaper, a.Native,
+			band.nativeLo, band.nativeHi, "%.2f s")
+		add("figure 9", "adapted within 8% of native, "+band.name, "comparable",
+			(a.Adapted/a.Native-1)*100, 0, 8, "+%.1f%%")
+
+		rel := Figure10(rows)
+		var sum float64
+		best, worst := "", ""
+		bestV, worstV := -1e9, 1e9
+		for _, r := range rel {
+			g := r.Adapted/r.Optimized - 1
+			sum += g
+			if g > bestV {
+				bestV, best = g, r.ID
+			}
+			if g < worstV {
+				worstV, worst = g, r.ID
+			}
+		}
+		add("figure 10", "avg LTO+PGO gain, "+band.name, band.ltoPaper,
+			sum/float64(len(rel))*100, band.ltoLo, band.ltoHi, "%.1f%%")
+		out = append(out, CheckResult{
+			Experiment: "figure 10",
+			Claim:      "best workload, " + band.name,
+			Paper:      band.best,
+			Measured:   best,
+			OK:         best == band.best,
+		}, CheckResult{
+			Experiment: "figure 10",
+			Claim:      "worst workload, " + band.name,
+			Paper:      band.worst,
+			Measured:   worst,
+			OK:         worst == band.worst,
+		})
+	}
+
+	// Table 3.
+	t3, err := Table3(env)
+	if err != nil {
+		return nil, err
+	}
+	var maxFrac float64
+	allX86Bigger := true
+	for _, r := range t3 {
+		if f := r.Cache / r.ImageX86; f > maxFrac {
+			maxFrac = f
+		}
+		if r.ImageX86 <= r.ImageArm {
+			allX86Bigger = false
+		}
+	}
+	add("table 3", "max cache share of x86 image", "7.1%", maxFrac*100, 0, 12, "%.1f%%")
+	out = append(out, CheckResult{
+		Experiment: "table 3",
+		Claim:      "x86 images larger than aarch64",
+		Paper:      "yes",
+		Measured:   fmt.Sprint(allX86Bigger),
+		OK:         allX86Bigger,
+	})
+
+	// Figure 11.
+	f11, failed, err := Figure11(env)
+	if err != nil {
+		return nil, err
+	}
+	var sumC, sumX int
+	for _, r := range f11 {
+		sumC += r.CoMtainer
+		sumX += r.XBuild
+	}
+	add("figure 11", "cross-ISA capable apps", "many", float64(len(f11)), 6, 8, "%.0f")
+	add("figure 11", "effort ratio vs cross-build", "~10%", float64(sumC)/float64(sumX)*100, 5, 20, "%.1f%%")
+	out = append(out, CheckResult{
+		Experiment: "figure 11",
+		Claim:      "ISA-bound apps fail",
+		Paper:      "hpl, miniaero, lammps, openmx",
+		Measured:   strings.Join(failed, ", "),
+		OK:         len(failed) == 4,
+	})
+	return out, nil
+}
+
+// RenderChecks formats check results, returning the text and whether all
+// claims passed.
+func RenderChecks(results []CheckResult) (string, bool) {
+	var b strings.Builder
+	ok := true
+	b.WriteString("Artifact check: paper claims vs this run\n")
+	fmt.Fprintf(&b, "%-10s %-42s %-28s %-22s %s\n", "experiment", "claim", "paper", "measured", "status")
+	for _, r := range results {
+		status := "ok"
+		if !r.OK {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "%-10s %-42s %-28s %-22s %s\n", r.Experiment, r.Claim, r.Paper, r.Measured, status)
+	}
+	return b.String(), ok
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The environment is shared across tests in this package: pipelines are
+// cached, so building it once keeps the suite fast.
+var env = NewEnvironment()
+
+func TestFigure3Shape(t *testing.T) {
+	rows, err := Figure3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Monotone improvement through the incremental optimizations
+		// (lto/pgo are positive for lulesh on both systems).
+		if !(r.Cost > r.Libo && r.Libo > r.Cxxo && r.Cxxo > r.LTO && r.LTO > r.PGO) {
+			t.Errorf("%s: not monotone: %+v", r.System, r)
+		}
+	}
+	// Paper: libo+cxxo cut ~50% on x86-64 and ~72% on AArch64.
+	for _, c := range []struct {
+		idx    int
+		lo, hi float64
+	}{{0, 0.42, 0.58}, {1, 0.64, 0.80}} {
+		cut := 1 - rows[c.idx].Cxxo/rows[c.idx].Cost
+		if cut < c.lo || cut > c.hi {
+			t.Errorf("%s: libo+cxxo cut = %.1f%%, want in [%v, %v]",
+				rows[c.idx].System, cut*100, c.lo*100, c.hi*100)
+		}
+	}
+	// Paper: LTO ~17.5% and PGO ~9.6% extra on x86-64.
+	x := rows[0]
+	if lto := x.Cxxo/x.LTO - 1; lto < 0.12 || lto > 0.24 {
+		t.Errorf("x86 LTO gain = %.3f, want ~0.175", lto)
+	}
+	if pgo := x.LTO/x.PGO - 1; pgo < 0.06 || pgo > 0.14 {
+		t.Errorf("x86 PGO gain = %.3f, want ~0.096", pgo)
+	}
+	out := RenderFigure3(rows)
+	if !strings.Contains(out, "lulesh") && !strings.Contains(out, "x86-64") {
+		t.Errorf("render output: %s", out)
+	}
+}
+
+// figure9 caches the full 18-workload sweep per system for the tests.
+var fig9Cache = map[string][]Fig9Row{}
+
+func figure9(t *testing.T, sysName string) []Fig9Row {
+	t.Helper()
+	if rows, ok := fig9Cache[sysName]; ok {
+		return rows
+	}
+	rows, err := Figure9(env, sysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig9Cache[sysName] = rows
+	return rows
+}
+
+func TestFigure9X86Shape(t *testing.T) {
+	rows := figure9(t, "x86-64")
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	a := Averages(rows)
+	// Paper: ~96.3% average improvement; adapted ≈ native (22.0 vs 21.35).
+	if a.AvgImprovement < 0.75 || a.AvgImprovement > 1.25 {
+		t.Errorf("avg improvement = %.3f, want ~0.96", a.AvgImprovement)
+	}
+	if a.Adapted < a.Native || a.Adapted > a.Native*1.08 {
+		t.Errorf("adapted avg %.2f vs native avg %.2f: not comparable", a.Adapted, a.Native)
+	}
+	if a.Native < 19 || a.Native > 24 {
+		t.Errorf("native avg = %.2f, want ~21.35", a.Native)
+	}
+	byID := map[string]Fig9Row{}
+	for _, r := range rows {
+		byID[r.ID] = r
+	}
+	// hpccg is the lone workload where native/adapted regress.
+	for id, r := range byID {
+		slower := r.Adapted > r.Original
+		if id == "hpccg" && !slower {
+			t.Error("hpccg should regress under adaptation on x86-64")
+		}
+		if id != "hpccg" && slower {
+			t.Errorf("%s: adapted slower than original", id)
+		}
+	}
+	// lammps.eam carries the maximum improvement (+253%).
+	eam := byID["lammps.eam"]
+	if imp := eam.Original/eam.Native - 1; imp < 2.0 {
+		t.Errorf("lammps.eam improvement = %.2f, want ~2.53", imp)
+	}
+}
+
+func TestFigure9ArmShape(t *testing.T) {
+	rows := figure9(t, "aarch64")
+	a := Averages(rows)
+	// Paper: ~66.5% average improvement, native avg ~67s.
+	if a.AvgImprovement < 0.5 || a.AvgImprovement > 0.9 {
+		t.Errorf("avg improvement = %.3f, want ~0.665", a.AvgImprovement)
+	}
+	if a.Native < 60 || a.Native > 75 {
+		t.Errorf("native avg = %.2f, want ~67", a.Native)
+	}
+	// lulesh: the +231% communication-dominated anchor.
+	for _, r := range rows {
+		if r.ID == "lulesh" {
+			if imp := r.Original/r.Native - 1; imp < 1.8 || imp > 3.0 {
+				t.Errorf("lulesh aarch64 improvement = %.2f, want ~2.31", imp)
+			}
+		}
+	}
+	out := RenderFigure9("aarch64", rows)
+	if !strings.Contains(out, "lulesh") || !strings.Contains(out, "average") {
+		t.Error("render output incomplete")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	for _, sysName := range []string{"x86-64", "aarch64"} {
+		rows9 := figure9(t, sysName)
+		rows := Figure10(rows9)
+		var sum float64
+		best, worst := "", ""
+		bestV, worstV := -1e9, 1e9
+		for _, r := range rows {
+			gain := r.Adapted/r.Optimized - 1
+			sum += gain
+			if gain > bestV {
+				bestV, best = gain, r.ID
+			}
+			if gain < worstV {
+				worstV, worst = gain, r.ID
+			}
+		}
+		avg := sum / float64(len(rows))
+		switch sysName {
+		case "x86-64":
+			// Paper: +8% avg; best openmx.pt13 (+30.4%), worst lammps.chain (-12.1%).
+			if avg < 0.04 || avg > 0.13 {
+				t.Errorf("x86 avg LTO+PGO gain = %.3f, want ~0.08", avg)
+			}
+			if best != "openmx.pt13" {
+				t.Errorf("x86 best = %s (%.3f), want openmx.pt13", best, bestV)
+			}
+			if worst != "lammps.chain" || worstV > -0.05 {
+				t.Errorf("x86 worst = %s (%.3f), want lammps.chain ~-0.12", worst, worstV)
+			}
+		case "aarch64":
+			// Paper: +5.6% avg; best lammps.lj (+17.7%), worst hpcg (-14.9%).
+			if avg < 0.02 || avg > 0.10 {
+				t.Errorf("arm avg LTO+PGO gain = %.3f, want ~0.056", avg)
+			}
+			if best != "lammps.lj" {
+				t.Errorf("arm best = %s (%.3f), want lammps.lj", best, bestV)
+			}
+			if worst != "hpcg" || worstV > -0.08 {
+				t.Errorf("arm worst = %s (%.3f), want hpcg ~-0.149", worst, worstV)
+			}
+		}
+		out := RenderFigure10(sysName, rows)
+		if !strings.Contains(out, "LTO+PGO vs adapted") {
+			t.Error("render output incomplete")
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// x86 images are substantially larger than aarch64 (bloated stack).
+		if r.ImageX86 <= r.ImageArm {
+			t.Errorf("%s: x86 image (%.1f) not larger than arm (%.1f)", r.App, r.ImageX86, r.ImageArm)
+		}
+		// Cache layer stays a small fraction of the image (≤ ~7.1% on x86).
+		frac := r.Cache / r.ImageX86
+		if frac > 0.12 {
+			t.Errorf("%s: cache fraction = %.1f%%", r.App, frac*100)
+		}
+		if r.Cache <= 0 {
+			t.Errorf("%s: empty cache layer", r.App)
+		}
+	}
+	byApp := map[string]Table3Row{}
+	for _, r := range rows {
+		byApp[r.App] = r
+	}
+	// The large applications dominate the cache sizes (lammps ~14.4,
+	// openmx ~24.0 in the paper's units).
+	if byApp["lammps"].Cache < 10 || byApp["openmx"].Cache < 18 {
+		t.Errorf("large-app caches: lammps %.2f openmx %.2f", byApp["lammps"].Cache, byApp["openmx"].Cache)
+	}
+	if byApp["comd"].Cache > 2 {
+		t.Errorf("comd cache = %.2f, want < 2", byApp["comd"].Cache)
+	}
+	// Benchmarks' x86 images cluster near the paper's ~170 scale.
+	if byApp["comd"].ImageX86 < 150 || byApp["comd"].ImageX86 > 190 {
+		t.Errorf("comd x86 image = %.2f, want ~170", byApp["comd"].ImageX86)
+	}
+	// lammps and openmx ship data, so their images are bigger.
+	if byApp["lammps"].ImageX86 < byApp["comd"].ImageX86+20 {
+		t.Error("lammps image not visibly larger than comd's")
+	}
+	if byApp["openmx"].ImageX86 < byApp["lammps"].ImageX86+100 {
+		t.Error("openmx image not visibly larger than lammps's")
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "openmx") {
+		t.Error("render output incomplete")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rows, failed, err := Figure11(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Errorf("capable apps = %d, want 7: %+v", len(rows), rows)
+	}
+	failedSet := map[string]bool{}
+	for _, f := range failed {
+		failedSet[f] = true
+	}
+	for _, want := range []string{"hpl", "miniaero", "lammps", "openmx"} {
+		if !failedSet[want] {
+			t.Errorf("%s should fail to cross ISA", want)
+		}
+	}
+	var sumC, sumX int
+	for _, r := range rows {
+		if r.CoMtainer <= 0 || r.XBuild <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.App, r)
+		}
+		if r.CoMtainer >= r.XBuild {
+			t.Errorf("%s: coMtainer (%d) not cheaper than xbuild (%d)", r.App, r.CoMtainer, r.XBuild)
+		}
+		sumC += r.CoMtainer
+		sumX += r.XBuild
+	}
+	// Paper: ~5 lines vs ~47 (about 10% of the effort).
+	ratio := float64(sumC) / float64(sumX)
+	if ratio < 0.05 || ratio > 0.2 {
+		t.Errorf("effort ratio = %.3f, want ~0.10", ratio)
+	}
+	out := RenderFigure11(rows, failed)
+	if !strings.Contains(out, "average") {
+		t.Error("render output incomplete")
+	}
+}
+
+func TestTables1And2Render(t *testing.T) {
+	t1 := RenderTable1()
+	if !strings.Contains(t1, "8358P") || !strings.Contains(t1, "Kylin") {
+		t.Errorf("table 1: %s", t1)
+	}
+	t2 := RenderTable2()
+	if !strings.Contains(t2, "lammps") || !strings.Contains(t2, "2273423") {
+		t.Errorf("table 2: %s", t2)
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	files, err := ExportAll(env, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 7 {
+		t.Fatalf("wrote %d files: %v", len(files), files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines < 2 {
+			t.Errorf("%s has only %d lines", f, lines)
+		}
+	}
+	// Spot-check one file's shape.
+	data, err := os.ReadFile(filepath.Join(dir, "figure9_x8664.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "system,workload,original_s,native_s,adapted_s,optimized_s\n") {
+		t.Errorf("header: %q", strings.SplitN(text, "\n", 2)[0])
+	}
+	if !strings.Contains(text, "lammps.eam") {
+		t.Error("figure9 CSV missing workloads")
+	}
+}
+
+func TestCheckAllClaimsPass(t *testing.T) {
+	results, err := Check(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 20 {
+		t.Errorf("only %d claims checked", len(results))
+	}
+	text, ok := RenderChecks(results)
+	if !ok {
+		t.Errorf("artifact check failed:\n%s", text)
+	}
+	if !strings.Contains(text, "openmx.pt13") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSchemeSetGet(t *testing.T) {
+	s := SchemeSet{Original: 1, Native: 2, Adapted: 3, Optimized: 4}
+	for scheme, want := range map[string]float64{
+		SchemeOriginal: 1, SchemeNative: 2, SchemeAdapted: 3, SchemeOptimized: 4,
+	} {
+		got, err := s.Get(scheme)
+		if err != nil || got != want {
+			t.Errorf("Get(%s) = %f, %v", scheme, got, err)
+		}
+	}
+	if _, err := s.Get("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}

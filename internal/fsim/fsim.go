@@ -1,0 +1,570 @@
+// Package fsim implements a POSIX file system simulator.
+//
+// coMtainer needs to know the final file system state of a container image
+// after all of its layers have been applied (paper §4.5: "parsing OCI images
+// requires a POSIX file system simulator to compute the final file system
+// state after applying all image layers"). An FS is an in-memory tree of
+// regular files, directories and symlinks keyed by clean absolute paths.
+// Layers are themselves FS values; whiteout entries (the OCI ".wh." naming
+// convention) mark deletions, and Apply/Diff convert between layer stacks
+// and flattened states.
+//
+// An FS is safe for concurrent use: the parallel rebuild executor compiles
+// independent build-graph nodes against one shared container file system.
+// File values are immutable once inserted — mutators always install fresh
+// entries — so pointers returned by Stat/Walk remain race-free snapshots.
+package fsim
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"unsafe"
+)
+
+// FileType discriminates the kinds of entries an FS can hold.
+type FileType uint8
+
+// The supported entry kinds.
+const (
+	TypeRegular FileType = iota
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "regular"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return fmt.Sprintf("FileType(%d)", uint8(t))
+	}
+}
+
+// File is a single file system entry. Data is nil for directories; Target
+// is empty except for symlinks. Mode holds only permission bits — the type
+// is carried by Type. Treat a File as immutable once it has been added to
+// an FS.
+type File struct {
+	Path   string
+	Type   FileType
+	Mode   fs.FileMode
+	Data   []byte
+	Target string
+}
+
+// Clone returns a deep copy of f.
+func (f *File) Clone() *File {
+	c := *f
+	if f.Data != nil {
+		c.Data = append([]byte(nil), f.Data...)
+	}
+	return &c
+}
+
+// Size returns the length of the file's data.
+func (f *File) Size() int64 { return int64(len(f.Data)) }
+
+// Whiteout naming conventions from the OCI image spec.
+const (
+	WhiteoutPrefix = ".wh."
+	OpaqueWhiteout = ".wh..wh..opq"
+)
+
+// ErrNotExist is returned when a path is absent.
+var ErrNotExist = errors.New("fsim: file does not exist")
+
+// ErrExist is returned when a path unexpectedly exists.
+var ErrExist = errors.New("fsim: file already exists")
+
+// FS is an in-memory file system. The zero value is not usable; call New.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*File
+}
+
+// New returns an empty file system containing only the root directory.
+func New() *FS {
+	f := &FS{files: make(map[string]*File)}
+	f.files["/"] = &File{Path: "/", Type: TypeDir, Mode: 0o755}
+	return f
+}
+
+// Clean normalizes p to a clean absolute slash path.
+func Clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// Len returns the number of entries, excluding the root directory.
+func (f *FS) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.files) - 1
+}
+
+// Exists reports whether path p is present.
+func (f *FS) Exists(p string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.files[Clean(p)]
+	return ok
+}
+
+// Stat returns the entry at p. The returned File is a shared snapshot and
+// must not be modified.
+func (f *FS) Stat(p string) (*File, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.statLocked(p)
+}
+
+func (f *FS) statLocked(p string) (*File, error) {
+	file, ok := f.files[Clean(p)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, Clean(p))
+	}
+	return file, nil
+}
+
+// ReadFile returns the contents of the regular file at p. The returned
+// slice is shared and must not be modified.
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	file, err := f.Stat(p)
+	if err != nil {
+		return nil, err
+	}
+	if file.Type != TypeRegular {
+		return nil, fmt.Errorf("fsim: %s is a %s, not a regular file", file.Path, file.Type)
+	}
+	return file.Data, nil
+}
+
+// mkParentsLocked creates any missing parent directories of p with mode 0755.
+func (f *FS) mkParentsLocked(p string) {
+	dir := path.Dir(p)
+	for dir != "/" {
+		if _, ok := f.files[dir]; !ok {
+			f.files[dir] = &File{Path: dir, Type: TypeDir, Mode: 0o755}
+		}
+		dir = path.Dir(dir)
+	}
+}
+
+// WriteFile creates or replaces a regular file at p, creating parents.
+func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) {
+	p = Clean(p)
+	if p == "/" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkParentsLocked(p)
+	f.files[p] = &File{Path: p, Type: TypeRegular, Mode: mode.Perm(), Data: append([]byte(nil), data...)}
+}
+
+// MkdirAll creates directory p and any missing parents.
+func (f *FS) MkdirAll(p string, mode fs.FileMode) {
+	p = Clean(p)
+	if p == "/" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkParentsLocked(p)
+	if existing, ok := f.files[p]; ok && existing.Type == TypeDir {
+		return
+	}
+	f.files[p] = &File{Path: p, Type: TypeDir, Mode: mode.Perm()}
+}
+
+// Symlink creates a symlink at p pointing at target, creating parents.
+func (f *FS) Symlink(target, p string) {
+	p = Clean(p)
+	if p == "/" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkParentsLocked(p)
+	f.files[p] = &File{Path: p, Type: TypeSymlink, Mode: 0o777, Target: target}
+}
+
+// Add inserts a pre-built File, creating parents. The file's Path is
+// cleaned in place; the FS takes ownership of the File, which must not be
+// modified afterwards.
+func (f *FS) Add(file *File) {
+	file.Path = Clean(file.Path)
+	if file.Path == "/" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mkParentsLocked(file.Path)
+	f.files[file.Path] = file
+}
+
+// Remove deletes the entry at p. Removing a directory removes its entire
+// subtree. Removing the root or a missing path returns an error.
+func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.removeLocked(p)
+}
+
+func (f *FS) removeLocked(p string) error {
+	p = Clean(p)
+	if p == "/" {
+		return errors.New("fsim: cannot remove root")
+	}
+	file, ok := f.files[p]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	delete(f.files, p)
+	if file.Type == TypeDir {
+		prefix := p + "/"
+		for q := range f.files {
+			if strings.HasPrefix(q, prefix) {
+				delete(f.files, q)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadDir returns the immediate children of directory p, sorted by path.
+func (f *FS) ReadDir(p string) ([]*File, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p = Clean(p)
+	dir, ok := f.files[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if dir.Type != TypeDir {
+		return nil, fmt.Errorf("fsim: %s is not a directory", p)
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	var out []*File
+	for q, file := range f.files {
+		if q == p || !strings.HasPrefix(q, prefix) {
+			continue
+		}
+		rest := q[len(prefix):]
+		if strings.Contains(rest, "/") {
+			continue
+		}
+		out = append(out, file)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Paths returns every path in the FS (excluding root), sorted.
+func (f *FS) Paths() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.pathsLocked()
+}
+
+func (f *FS) pathsLocked() []string {
+	out := make([]string, 0, len(f.files)-1)
+	for p := range f.files {
+		if p == "/" {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walk visits every entry except the root in sorted path order. The
+// callback runs without the FS lock held, so it may call back into the
+// same FS; entries added or removed mid-walk may or may not be visited.
+// If fn returns an error the walk stops and returns it.
+func (f *FS) Walk(fn func(*File) error) error {
+	for _, p := range f.Paths() {
+		file, err := f.Stat(p)
+		if err != nil {
+			continue // removed mid-walk
+		}
+		if err := fn(file); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Glob returns sorted paths whose base name matches the pattern (path.Match
+// syntax) anywhere in the tree, or whose full path matches when the pattern
+// contains a slash.
+func (f *FS) Glob(pattern string) []string {
+	var out []string
+	full := strings.Contains(pattern, "/")
+	for _, p := range f.Paths() {
+		subject := path.Base(p)
+		if full {
+			subject = p
+		}
+		if ok, err := path.Match(pattern, subject); err == nil && ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the file system.
+func (f *FS) Clone() *FS {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	c := &FS{files: make(map[string]*File, len(f.files))}
+	for p, file := range f.files {
+		c.files[p] = file.Clone()
+	}
+	return c
+}
+
+// lockPair acquires the read locks of two file systems in address order,
+// avoiding deadlock between concurrent Equal(a, b) and Equal(b, a).
+func lockPair(a, b *FS) func() {
+	if a == b {
+		a.mu.RLock()
+		return a.mu.RUnlock
+	}
+	first, second := a, b
+	if uintptr(unsafe.Pointer(a)) > uintptr(unsafe.Pointer(b)) {
+		first, second = b, a
+	}
+	first.mu.RLock()
+	second.mu.RLock()
+	return func() {
+		second.mu.RUnlock()
+		first.mu.RUnlock()
+	}
+}
+
+// Equal reports whether two file systems hold identical entries.
+func (f *FS) Equal(other *FS) bool {
+	unlock := lockPair(f, other)
+	defer unlock()
+	if len(f.files) != len(other.files) {
+		return false
+	}
+	for p, a := range f.files {
+		b, ok := other.files[p]
+		if !ok {
+			return false
+		}
+		if a.Type != b.Type || a.Mode != b.Mode || a.Target != b.Target ||
+			string(a.Data) != string(b.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalSize returns the sum of regular file sizes in bytes.
+func (f *FS) TotalSize() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var n int64
+	for _, file := range f.files {
+		n += file.Size()
+	}
+	return n
+}
+
+// ResolveSymlink follows symlinks at p up to 40 hops and returns the final
+// path. Relative targets are resolved against the link's directory.
+func (f *FS) ResolveSymlink(p string) (string, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	p = Clean(p)
+	for i := 0; i < 40; i++ {
+		file, ok := f.files[p]
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrNotExist, p)
+		}
+		if file.Type != TypeSymlink {
+			return p, nil
+		}
+		if path.IsAbs(file.Target) {
+			p = Clean(file.Target)
+		} else {
+			p = Clean(path.Join(path.Dir(p), file.Target))
+		}
+	}
+	return "", fmt.Errorf("fsim: too many symlink hops resolving %s", p)
+}
+
+// isWhiteout reports whether base is a whiteout marker and, if so, whether
+// it is the opaque-directory marker.
+func isWhiteout(base string) (whiteout, opaque bool) {
+	if base == OpaqueWhiteout {
+		return true, true
+	}
+	return strings.HasPrefix(base, WhiteoutPrefix), false
+}
+
+// Apply layers `layer` on top of base and returns the combined state,
+// honouring OCI whiteout semantics: an entry named ".wh.x" deletes x from
+// the lower state; ".wh..wh..opq" in a directory hides all lower entries of
+// that directory. Neither input is modified.
+func Apply(base, layer *FS) *FS {
+	out := base.Clone()
+	// Opaque markers first: they clear lower content before this layer's
+	// own entries for the directory are added.
+	var adds []*File
+	for _, p := range layer.Paths() {
+		file, err := layer.Stat(p)
+		if err != nil {
+			continue
+		}
+		baseName := path.Base(p)
+		wh, opaque := isWhiteout(baseName)
+		switch {
+		case opaque:
+			dir := path.Dir(p)
+			if d, err := out.Stat(dir); err == nil && d.Type == TypeDir {
+				prefix := dir + "/"
+				if dir == "/" {
+					prefix = "/"
+				}
+				out.mu.Lock()
+				for q := range out.files {
+					if q != dir && strings.HasPrefix(q, prefix) {
+						delete(out.files, q)
+					}
+				}
+				out.mu.Unlock()
+			}
+		case wh:
+			target := path.Join(path.Dir(p), strings.TrimPrefix(baseName, WhiteoutPrefix))
+			// Ignore error: whiteout of a missing path is a no-op.
+			_ = out.Remove(target)
+		default:
+			adds = append(adds, file)
+		}
+	}
+	for _, file := range adds {
+		// Replacing a directory with a non-directory removes the subtree.
+		if existing, err := out.Stat(file.Path); err == nil && existing.Type == TypeDir && file.Type != TypeDir {
+			_ = out.Remove(file.Path)
+		}
+		out.Add(file.Clone())
+	}
+	return out
+}
+
+// ApplyAll applies layers in order on top of an empty file system.
+func ApplyAll(layers []*FS) *FS {
+	state := New()
+	for _, l := range layers {
+		state = Apply(state, l)
+	}
+	return state
+}
+
+// Diff computes a layer that, applied to base, reproduces derived:
+// Apply(base, Diff(base, derived)).Equal(derived) holds for states whose
+// paths do not themselves use the whiteout naming convention. Deletions
+// become whiteout entries.
+func Diff(base, derived *FS) *FS {
+	unlock := lockPair(base, derived)
+	layer := New()
+	// Additions and modifications.
+	var adds []*File
+	var whiteouts []string
+	for p, d := range derived.files {
+		if p == "/" {
+			continue
+		}
+		b, ok := base.files[p]
+		if ok && b.Type == d.Type && b.Mode == d.Mode && b.Target == d.Target &&
+			string(b.Data) == string(d.Data) {
+			continue
+		}
+		adds = append(adds, d.Clone())
+	}
+	// Deletions: entries in base absent from derived. Skip entries whose
+	// ancestor directory is itself deleted (a single whiteout suffices).
+	for p := range base.files {
+		if p == "/" {
+			continue
+		}
+		if _, ok := derived.files[p]; ok {
+			continue
+		}
+		parent := path.Dir(p)
+		covered := false
+		for parent != "/" {
+			if _, inBase := base.files[parent]; inBase {
+				if _, inDerived := derived.files[parent]; !inDerived {
+					covered = true
+					break
+				}
+			}
+			parent = path.Dir(parent)
+		}
+		if covered {
+			continue
+		}
+		whiteouts = append(whiteouts, path.Join(path.Dir(p), WhiteoutPrefix+path.Base(p)))
+	}
+	unlock()
+	for _, a := range adds {
+		layer.Add(a)
+	}
+	for _, wh := range whiteouts {
+		layer.WriteFile(wh, nil, 0o000)
+	}
+	return layer
+}
+
+// Squash merges two layers into one equivalent layer: for any base,
+// Apply(Apply(base, a), b) == Apply(base, Squash(a, b)).
+func Squash(a, b *FS) *FS {
+	empty := New()
+	combined := Apply(Apply(empty, a), b)
+	// Diff against empty gives adds; deletions crossing a/b boundaries
+	// must be preserved as whiteouts from both layers.
+	out := Diff(empty, combined)
+	carryWhiteouts := func(layer *FS) {
+		for _, p := range layer.Paths() {
+			wh, _ := isWhiteout(path.Base(p))
+			if !wh {
+				continue
+			}
+			file, err := layer.Stat(p)
+			if err != nil {
+				continue
+			}
+			target := path.Join(path.Dir(p), strings.TrimPrefix(path.Base(p), WhiteoutPrefix))
+			if path.Base(p) == OpaqueWhiteout {
+				out.Add(file.Clone())
+				continue
+			}
+			if !combined.Exists(target) {
+				out.Add(file.Clone())
+			}
+		}
+	}
+	carryWhiteouts(a)
+	carryWhiteouts(b)
+	return out
+}

@@ -1,0 +1,98 @@
+package fsim
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ImportDir reads a real directory tree from the host into a new FS,
+// rooted at "/". Symlinks are preserved as symlinks; irregular files
+// (sockets, devices) are rejected. It is how the CLI tools ingest a build
+// context from disk.
+func ImportDir(dir string) (*FS, error) {
+	out := New()
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fsim: resolving %s: %w", dir, err)
+	}
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		target := Clean("/" + filepath.ToSlash(rel))
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		switch {
+		case d.IsDir():
+			out.MkdirAll(target, info.Mode().Perm())
+		case info.Mode()&fs.ModeSymlink != 0:
+			link, err := os.Readlink(p)
+			if err != nil {
+				return fmt.Errorf("fsim: reading symlink %s: %w", p, err)
+			}
+			out.Symlink(filepath.ToSlash(link), target)
+		case info.Mode().IsRegular():
+			data, err := os.ReadFile(p)
+			if err != nil {
+				return fmt.Errorf("fsim: reading %s: %w", p, err)
+			}
+			out.WriteFile(target, data, info.Mode().Perm())
+		default:
+			return fmt.Errorf("fsim: %s: unsupported file type %s", p, info.Mode())
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExportDir writes the FS content under dir on the host — the inverse of
+// ImportDir, used to unpack flattened images for external inspection.
+func (f *FS) ExportDir(dir string) error {
+	for _, p := range f.Paths() {
+		file, err := f.Stat(p)
+		if err != nil {
+			continue
+		}
+		hostPath := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		switch file.Type {
+		case TypeDir:
+			if err := os.MkdirAll(hostPath, 0o755); err != nil {
+				return fmt.Errorf("fsim: exporting %s: %w", p, err)
+			}
+		case TypeSymlink:
+			if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
+				return err
+			}
+			if err := os.Symlink(file.Target, hostPath); err != nil && !os.IsExist(err) {
+				return fmt.Errorf("fsim: exporting symlink %s: %w", p, err)
+			}
+		case TypeRegular:
+			if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
+				return err
+			}
+			mode := file.Mode.Perm()
+			if mode == 0 {
+				mode = 0o644
+			}
+			if err := os.WriteFile(hostPath, file.Data, mode); err != nil {
+				return fmt.Errorf("fsim: exporting %s: %w", p, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package fsim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestImportExportRoundTrip(t *testing.T) {
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "app", "src"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "app", "src", "main.c"), []byte("int main(){}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(src, "run.sh"), []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink("app/src/main.c", filepath.Join(src, "main-link")); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := ImportDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.ReadFile("/app/src/main.c")
+	if err != nil || string(data) != "int main(){}\n" {
+		t.Errorf("imported content = %q, %v", data, err)
+	}
+	st, err := f.Stat("/run.sh")
+	if err != nil || st.Mode != 0o755 {
+		t.Errorf("mode = %v, %v", st, err)
+	}
+	if resolved, err := f.ResolveSymlink("/main-link"); err != nil || resolved != "/app/src/main.c" {
+		t.Errorf("symlink = %q, %v", resolved, err)
+	}
+
+	dst := t.TempDir()
+	if err := f.ExportDir(dst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportDir(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(back) {
+		t.Errorf("round trip mismatch:\nin=%v\nout=%v", f.Paths(), back.Paths())
+	}
+}
+
+func TestImportMissingDir(t *testing.T) {
+	if _, err := ImportDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("ImportDir(missing) succeeded")
+	}
+}

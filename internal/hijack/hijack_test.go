@@ -1,0 +1,74 @@
+package hijack
+
+import (
+	"reflect"
+	"testing"
+
+	"comtainer/internal/fsim"
+)
+
+func TestRecordAndRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Record([]string{"gcc", "-O2", "-c", "main.c"}, "/app/src", "build",
+		map[string]string{"CC": "gcc", "HOME": "/root", "CFLAGS": "-O2"})
+	r.Record([]string{"ar", "rcs", "lib.a", "main.o"}, "/app/src", "build", nil)
+	r.Record([]string{"/usr/bin/g++", "main.o", "-o", "app"}, "/app", "build", nil)
+
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	invs := r.Invocations()
+	if invs[0].Seq != 0 || invs[2].Seq != 2 {
+		t.Error("sequence numbers wrong")
+	}
+	// Irrelevant env dropped, relevant kept.
+	if _, ok := invs[0].Env["HOME"]; ok {
+		t.Error("HOME retained")
+	}
+	if invs[0].Env["CFLAGS"] != "-O2" {
+		t.Error("CFLAGS dropped")
+	}
+	if invs[2].Tool() != "g++" {
+		t.Errorf("Tool = %q", invs[2].Tool())
+	}
+
+	fsys := fsim.New()
+	if err := r.Save(fsys); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("loaded %d invocations", len(back))
+	}
+	if !reflect.DeepEqual(back[0].Argv, invs[0].Argv) || back[0].Cwd != "/app/src" {
+		t.Errorf("round trip: %+v", back[0])
+	}
+}
+
+func TestLoadMissingLog(t *testing.T) {
+	invs, err := Load(fsim.New())
+	if err != nil || invs != nil {
+		t.Errorf("Load(empty) = %v, %v", invs, err)
+	}
+}
+
+func TestLoadCorruptLog(t *testing.T) {
+	fsys := fsim.New()
+	fsys.WriteFile(LogPath, []byte("{not json\n"), 0o644)
+	if _, err := Load(fsys); err == nil {
+		t.Error("corrupt log accepted")
+	}
+}
+
+func TestRecorderCopiesArgv(t *testing.T) {
+	r := NewRecorder()
+	argv := []string{"gcc", "-c", "a.c"}
+	r.Record(argv, "/", "s", nil)
+	argv[0] = "mutated"
+	if r.Invocations()[0].Argv[0] != "gcc" {
+		t.Error("recorder aliased caller's argv")
+	}
+}

@@ -1,0 +1,147 @@
+package oci
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"comtainer/internal/digest"
+)
+
+// layoutMarker is the content of the oci-layout marker file.
+const layoutMarker = `{"imageLayoutVersion": "1.0.0"}`
+
+// Repository couples a blob store with a tagged index — the in-memory
+// equivalent of an OCI layout directory. It is what registries serve and
+// what the build tools operate on. Tagging and resolution are safe for
+// concurrent use; direct Index access is not and belongs to loading and
+// saving code only.
+type Repository struct {
+	Store *Store
+	Index Index
+
+	mu sync.RWMutex
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		Store: NewStore(),
+		Index: Index{SchemaVersion: 2, MediaType: MediaTypeIndex},
+	}
+}
+
+// Tag records desc under tag in the repository index.
+func (r *Repository) Tag(tag string, desc Descriptor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Index.SetTag(tag, desc)
+}
+
+// Resolve returns the manifest descriptor tagged tag.
+func (r *Repository) Resolve(tag string) (Descriptor, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.Index.FindByTag(tag)
+	if !ok {
+		return Descriptor{}, fmt.Errorf("oci: tag %q not found (have %v)", tag, r.Index.Tags())
+	}
+	return d, nil
+}
+
+// LoadByTag loads the image tagged tag.
+func (r *Repository) LoadByTag(tag string) (*Image, error) {
+	desc, err := r.Resolve(tag)
+	if err != nil {
+		return nil, err
+	}
+	return LoadImage(r.Store, desc)
+}
+
+// PushImage copies the image named by desc from src into the repository
+// and tags it.
+func (r *Repository) PushImage(src *Store, desc Descriptor, tag string) error {
+	if err := r.Store.CopyImage(src, desc); err != nil {
+		return err
+	}
+	r.Tag(tag, desc)
+	return nil
+}
+
+// SaveLayout writes the repository as an OCI layout directory: an
+// oci-layout marker, index.json, and blobs/sha256/<hex> files.
+func (r *Repository) SaveLayout(dir string) error {
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	if err := os.MkdirAll(blobDir, 0o755); err != nil {
+		return fmt.Errorf("oci: creating layout dir: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "oci-layout"), []byte(layoutMarker), 0o644); err != nil {
+		return fmt.Errorf("oci: writing layout marker: %w", err)
+	}
+	for _, d := range r.Store.Digests() {
+		b, err := r.Store.Get(d)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(blobDir, d.Hex()), b, 0o644); err != nil {
+			return fmt.Errorf("oci: writing blob %s: %w", d.Short(), err)
+		}
+	}
+	idx, err := json.MarshalIndent(r.Index, "", "  ")
+	if err != nil {
+		return fmt.Errorf("oci: encoding index: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
+		return fmt.Errorf("oci: writing index.json: %w", err)
+	}
+	return nil
+}
+
+// LoadLayout reads an OCI layout directory into a repository.
+func LoadLayout(dir string) (*Repository, error) {
+	marker, err := os.ReadFile(filepath.Join(dir, "oci-layout"))
+	if err != nil {
+		return nil, fmt.Errorf("oci: %s is not an OCI layout: %w", dir, err)
+	}
+	var mv struct {
+		ImageLayoutVersion string `json:"imageLayoutVersion"`
+	}
+	if err := json.Unmarshal(marker, &mv); err != nil || mv.ImageLayoutVersion == "" {
+		return nil, fmt.Errorf("oci: %s has an invalid oci-layout marker", dir)
+	}
+	r := NewRepository()
+	idxBytes, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, fmt.Errorf("oci: reading index.json: %w", err)
+	}
+	if err := json.Unmarshal(idxBytes, &r.Index); err != nil {
+		return nil, fmt.Errorf("oci: decoding index.json: %w", err)
+	}
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	entries, err := os.ReadDir(blobDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return r, nil
+		}
+		return nil, fmt.Errorf("oci: reading blob dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(blobDir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("oci: reading blob %s: %w", e.Name(), err)
+		}
+		want, err := digest.Parse("sha256:" + e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("oci: blob file %q is not digest-named: %w", e.Name(), err)
+		}
+		if err := r.Store.PutVerified(b, want); err != nil {
+			return nil, fmt.Errorf("oci: corrupt blob %s: %w", e.Name(), err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,398 @@
+package oci
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/fsim"
+	"comtainer/internal/tarfs"
+)
+
+func baseLayer() *fsim.FS {
+	f := fsim.New()
+	f.WriteFile("/bin/sh", []byte("#!shell"), 0o755)
+	f.WriteFile("/etc/os-release", []byte("ID=ubuntu\nVERSION_ID=24.04\n"), 0o644)
+	return f
+}
+
+func appLayer() *fsim.FS {
+	f := fsim.New()
+	f.WriteFile("/app/lulesh", []byte("ELF lulesh"), 0o755)
+	return f
+}
+
+func testConfig() ImageConfig {
+	return ImageConfig{
+		Architecture: "amd64",
+		OS:           "linux",
+		Config: ExecConfig{
+			Env:        []string{"PATH=/usr/bin:/bin"},
+			Entrypoint: []string{"/app/lulesh"},
+		},
+	}
+}
+
+func TestWriteAndLoadImage(t *testing.T) {
+	s := NewStore()
+	desc, err := WriteImage(s, testConfig(), []*fsim.FS{baseLayer(), appLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.MediaType != MediaTypeManifest {
+		t.Errorf("MediaType = %q", desc.MediaType)
+	}
+	img, err := LoadImage(s, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Manifest.Layers) != 2 {
+		t.Fatalf("layers = %d", len(img.Manifest.Layers))
+	}
+	if img.Config.Architecture != "amd64" {
+		t.Errorf("arch = %q", img.Config.Architecture)
+	}
+	flat, err := img.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Exists("/bin/sh") || !flat.Exists("/app/lulesh") {
+		t.Errorf("flattened FS missing files: %v", flat.Paths())
+	}
+}
+
+func TestLayerRoundTrip(t *testing.T) {
+	s := NewStore()
+	orig := appLayer()
+	desc, err := WriteImage(s, testConfig(), []*fsim.FS{orig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(s, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := img.Layer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Error("layer round trip mismatch")
+	}
+	if _, err := img.Layer(5); err == nil {
+		t.Error("out-of-range layer index accepted")
+	}
+}
+
+func TestStoreDedup(t *testing.T) {
+	s := NewStore()
+	d1 := s.Put([]byte("same"))
+	d2 := s.Put([]byte("same"))
+	if d1 != d2 {
+		t.Error("identical content got different digests")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	s := NewStore()
+	_, err := s.Get(digest.FromString("nope"))
+	if !errors.Is(err, ErrBlobNotFound) {
+		t.Errorf("err = %v, want ErrBlobNotFound", err)
+	}
+}
+
+func TestPutVerified(t *testing.T) {
+	s := NewStore()
+	content := []byte("payload")
+	if err := s.PutVerified(content, digest.FromBytes(content)); err != nil {
+		t.Errorf("PutVerified rejected valid content: %v", err)
+	}
+	if err := s.PutVerified(content, digest.FromString("other")); err == nil {
+		t.Error("PutVerified accepted mismatched digest")
+	}
+}
+
+func TestChainIDs(t *testing.T) {
+	d1 := digest.FromString("layer1")
+	d2 := digest.FromString("layer2")
+	chains := ChainIDs([]digest.Digest{d1, d2})
+	if chains[0] != d1 {
+		t.Error("ChainID(L0) != DiffID(L0)")
+	}
+	want := digest.FromString(string(d1) + " " + string(d2))
+	if chains[1] != want {
+		t.Error("ChainID recursion incorrect")
+	}
+	if len(ChainIDs(nil)) != 0 {
+		t.Error("ChainIDs(nil) not empty")
+	}
+}
+
+func TestAppendLayerSharesBlobs(t *testing.T) {
+	s := NewStore()
+	base, err := WriteImage(s, testConfig(), []*fsim.FS{baseLayer(), appLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseManifestBytes, err := s.Get(base.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), baseManifestBytes...)
+
+	cache := fsim.New()
+	cache.WriteFile("/.comtainer/cache/models.json", []byte(`{"v":1}`), 0o644)
+	ext, err := AppendLayer(s, base, cache, "comtainer.cache", "coMtainer-build cache layer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Digest == base.Digest {
+		t.Error("extended manifest digest equals base digest")
+	}
+	// The original manifest blob is untouched.
+	after, err := s.Get(base.Digest)
+	if err != nil {
+		t.Fatal("original manifest blob disappeared:", err)
+	}
+	if string(before) != string(after) {
+		t.Error("extending the image mutated the original manifest blob")
+	}
+	extImg, err := LoadImage(s, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseImg, err := LoadImage(s, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extImg.Manifest.Layers) != len(baseImg.Manifest.Layers)+1 {
+		t.Errorf("extended image has %d layers, want %d",
+			len(extImg.Manifest.Layers), len(baseImg.Manifest.Layers)+1)
+	}
+	// First layers are bitwise-shared.
+	for i := range baseImg.Manifest.Layers {
+		if extImg.Manifest.Layers[i].Digest != baseImg.Manifest.Layers[i].Digest {
+			t.Errorf("layer %d not shared", i)
+		}
+	}
+	role := extImg.Manifest.Layers[len(extImg.Manifest.Layers)-1].Annotations[AnnotationLayerRole]
+	if role != "comtainer.cache" {
+		t.Errorf("layer role = %q", role)
+	}
+	flat, err := extImg.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Exists("/.comtainer/cache/models.json") || !flat.Exists("/app/lulesh") {
+		t.Error("extended image flatten missing files")
+	}
+}
+
+func TestRepositoryTagResolve(t *testing.T) {
+	r := NewRepository()
+	desc, err := WriteImage(r.Store, testConfig(), []*fsim.FS{baseLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("lulesh.dist", desc)
+	got, err := r.Resolve("lulesh.dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != desc.Digest {
+		t.Error("Resolve returned wrong descriptor")
+	}
+	if _, err := r.Resolve("missing"); err == nil {
+		t.Error("Resolve(missing) succeeded")
+	}
+	// Re-tagging replaces.
+	desc2, _ := WriteImage(r.Store, testConfig(), []*fsim.FS{appLayer()})
+	r.Tag("lulesh.dist", desc2)
+	got, _ = r.Resolve("lulesh.dist")
+	if got.Digest != desc2.Digest {
+		t.Error("re-tag did not replace")
+	}
+	if n := len(r.Index.Manifests); n != 1 {
+		t.Errorf("index has %d manifests, want 1", n)
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "img.oci")
+	r := NewRepository()
+	desc, err := WriteImage(r.Store, testConfig(), []*fsim.FS{baseLayer(), appLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("xxx.dist", desc)
+	if err := r.SaveLayout(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLayout(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Index.Tags(), []string{"xxx.dist"}) {
+		t.Errorf("tags = %v", back.Index.Tags())
+	}
+	img, err := back.LoadByTag("xxx.dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := img.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Exists("/app/lulesh") {
+		t.Error("layout round trip lost content")
+	}
+}
+
+func TestLoadLayoutRejectsCorruptBlob(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "img.oci")
+	r := NewRepository()
+	desc, err := WriteImage(r.Store, testConfig(), []*fsim.FS{baseLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Tag("x", desc)
+	if err := r.SaveLayout(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes in one blob on disk.
+	blobDir := filepath.Join(dir, "blobs", "sha256")
+	entries, err := os.ReadDir(blobDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(blobDir, entries[0].Name())
+	if err := os.WriteFile(victim, []byte("tampered content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLayout(dir); err == nil {
+		t.Error("layout with a corrupt blob loaded")
+	}
+}
+
+func TestLayerDiffIDMismatchDetected(t *testing.T) {
+	s := NewStore()
+	desc, err := WriteImage(s, testConfig(), []*fsim.FS{baseLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(s, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the layer reference to different (valid) tar content while
+	// keeping the config's diffID: the verification must catch it.
+	other := fsim.New()
+	other.WriteFile("/evil", []byte("swap"), 0o644)
+	raw, err := tarfsMarshal(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Put(raw)
+	m := *img.Manifest
+	m.Layers = append([]Descriptor(nil), m.Layers...)
+	m.Layers[0] = Descriptor{MediaType: MediaTypeLayer, Digest: d, Size: int64(len(raw))}
+	tamperedDesc, err := PutJSON(s, m, MediaTypeManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered, err := LoadImage(s, tamperedDesc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tampered.Layer(0); err == nil {
+		t.Error("diffID mismatch not detected")
+	}
+}
+
+func TestLoadLayoutNotALayout(t *testing.T) {
+	if _, err := LoadLayout(t.TempDir()); err == nil {
+		t.Error("LoadLayout accepted an empty directory")
+	}
+}
+
+func TestCopyImage(t *testing.T) {
+	src := NewStore()
+	desc, err := WriteImage(src, testConfig(), []*fsim.FS{baseLayer(), appLayer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewStore()
+	if err := dst.CopyImage(src, desc); err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(dst, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.Flatten(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageConfigJSONStability(t *testing.T) {
+	s := NewStore()
+	d1, err := PutJSON(s, testConfig(), MediaTypeConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := PutJSON(s, testConfig(), MediaTypeConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Digest != d2.Digest {
+		t.Error("identical configs produced different digests")
+	}
+}
+
+func TestPropertyStorePutGet(t *testing.T) {
+	s := NewStore()
+	f := func(b []byte) bool {
+		d := s.Put(b)
+		got, err := s.Get(d)
+		return err == nil && string(got) == string(b) && d.Verify(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChainIDPrefixStability(t *testing.T) {
+	// Chain IDs of a prefix never change when layers are appended — this is
+	// the property that makes AppendLayer non-destructive.
+	f := func(seeds []int64) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		var diffIDs []digest.Digest
+		for _, s := range seeds {
+			diffIDs = append(diffIDs, digest.FromString(string(rune(s%1000))))
+		}
+		full := ChainIDs(diffIDs)
+		prefix := ChainIDs(diffIDs[:len(diffIDs)-1])
+		for i := range prefix {
+			if prefix[i] != full[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// tarfsMarshal avoids an import cycle workaround in tests: oci tests may
+// use tarfs directly.
+func tarfsMarshal(f *fsim.FS) ([]byte, error) { return tarfs.Marshal(f) }

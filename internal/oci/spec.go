@@ -1,0 +1,164 @@
+// Package oci implements the subset of the OCI image specification that
+// container build tools (and coMtainer) manipulate: content-addressed blob
+// stores, layer/config/manifest/index documents, image layout directories,
+// and the layer arithmetic (diffIDs, chainIDs) that makes images verifiable.
+//
+// coMtainer's central trick — "thanks to the layered nature of OCI images,
+// the injection of additional data introduces no changes to the original
+// image" (paper §4.5) — is realized here by AppendLayer, which produces a
+// new manifest that shares every existing blob with the original image.
+package oci
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"comtainer/internal/digest"
+)
+
+// OCI media types used throughout.
+const (
+	MediaTypeManifest  = "application/vnd.oci.image.manifest.v1+json"
+	MediaTypeConfig    = "application/vnd.oci.image.config.v1+json"
+	MediaTypeIndex     = "application/vnd.oci.image.index.v1+json"
+	MediaTypeLayer     = "application/vnd.oci.image.layer.v1.tar"
+	MediaTypeLayerGzip = "application/vnd.oci.image.layer.v1.tar+gzip"
+)
+
+// Annotation keys.
+const (
+	// AnnotationRefName tags a manifest inside an index, mirroring
+	// org.opencontainers.image.ref.name.
+	AnnotationRefName = "org.opencontainers.image.ref.name"
+	// AnnotationLayerRole marks what a layer holds; coMtainer sets it to
+	// "comtainer.cache" / "comtainer.rebuild" on its injected layers.
+	AnnotationLayerRole = "io.comtainer.layer.role"
+)
+
+// Platform describes the target of an image.
+type Platform struct {
+	Architecture string `json:"architecture"`
+	OS           string `json:"os"`
+}
+
+// Descriptor references a blob by digest, with its media type and size.
+type Descriptor struct {
+	MediaType   string            `json:"mediaType"`
+	Digest      digest.Digest     `json:"digest"`
+	Size        int64             `json:"size"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	Platform    *Platform         `json:"platform,omitempty"`
+}
+
+// Manifest is an OCI image manifest document.
+type Manifest struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	MediaType     string            `json:"mediaType"`
+	Config        Descriptor        `json:"config"`
+	Layers        []Descriptor      `json:"layers"`
+	Annotations   map[string]string `json:"annotations,omitempty"`
+}
+
+// HistoryEntry records one build step in an image config.
+type HistoryEntry struct {
+	Created    string `json:"created,omitempty"`
+	CreatedBy  string `json:"created_by,omitempty"`
+	Comment    string `json:"comment,omitempty"`
+	EmptyLayer bool   `json:"empty_layer,omitempty"`
+}
+
+// RootFS lists the uncompressed layer digests (diffIDs) of an image.
+type RootFS struct {
+	Type    string          `json:"type"`
+	DiffIDs []digest.Digest `json:"diff_ids"`
+}
+
+// ExecConfig is the runtime portion of an image config.
+type ExecConfig struct {
+	Env        []string          `json:"Env,omitempty"`
+	Entrypoint []string          `json:"Entrypoint,omitempty"`
+	Cmd        []string          `json:"Cmd,omitempty"`
+	WorkingDir string            `json:"WorkingDir,omitempty"`
+	Labels     map[string]string `json:"Labels,omitempty"`
+}
+
+// ImageConfig is an OCI image config document (config.json).
+type ImageConfig struct {
+	Architecture string         `json:"architecture"`
+	OS           string         `json:"os"`
+	Config       ExecConfig     `json:"config"`
+	RootFS       RootFS         `json:"rootfs"`
+	History      []HistoryEntry `json:"history,omitempty"`
+}
+
+// Index is an OCI image index document (index.json of a layout).
+type Index struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	MediaType     string       `json:"mediaType,omitempty"`
+	Manifests     []Descriptor `json:"manifests"`
+}
+
+// canonicalJSON marshals v with sorted keys and no trailing newline so that
+// document digests are deterministic. encoding/json already sorts map keys;
+// struct fields marshal in declaration order, which is fixed.
+func canonicalJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("oci: marshaling %T: %w", v, err)
+	}
+	return b, nil
+}
+
+// ChainIDs computes the chain IDs for a sequence of diffIDs per the OCI
+// spec recursion: ChainID(L0) = DiffID(L0);
+// ChainID(L0..Ln) = Digest(ChainID(L0..Ln-1) + " " + DiffID(Ln)).
+func ChainIDs(diffIDs []digest.Digest) []digest.Digest {
+	out := make([]digest.Digest, len(diffIDs))
+	for i, d := range diffIDs {
+		if i == 0 {
+			out[i] = d
+			continue
+		}
+		out[i] = digest.FromString(string(out[i-1]) + " " + string(d))
+	}
+	return out
+}
+
+// FindByTag returns the descriptor in idx whose ref-name annotation equals
+// tag, or false.
+func (idx *Index) FindByTag(tag string) (Descriptor, bool) {
+	for _, m := range idx.Manifests {
+		if m.Annotations[AnnotationRefName] == tag {
+			return m, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+// Tags returns the sorted set of ref-name annotations present in idx.
+func (idx *Index) Tags() []string {
+	var out []string
+	for _, m := range idx.Manifests {
+		if t, ok := m.Annotations[AnnotationRefName]; ok {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetTag inserts or replaces the manifest tagged tag.
+func (idx *Index) SetTag(tag string, desc Descriptor) {
+	if desc.Annotations == nil {
+		desc.Annotations = map[string]string{}
+	}
+	desc.Annotations[AnnotationRefName] = tag
+	for i, m := range idx.Manifests {
+		if m.Annotations[AnnotationRefName] == tag {
+			idx.Manifests[i] = desc
+			return
+		}
+	}
+	idx.Manifests = append(idx.Manifests, desc)
+}

@@ -1,0 +1,344 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+
+	"comtainer/internal/dpkg"
+	"comtainer/internal/fsim"
+	"comtainer/internal/mpisim"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/toolchain"
+	"comtainer/internal/workloads"
+)
+
+// runEnv builds a runtime FS for an app: generic stack, optionally with
+// the system's optimized packages overlaid (and optionally native libc).
+func runEnv(t *testing.T, sys *sysprofile.System, app *workloads.App, vendorLibs, nativeLibc bool) *fsim.FS {
+	t.Helper()
+	fs := fsim.New()
+	db := dpkg.NewDB()
+	idx := sysprofile.GenericIndex(sys.ISA)
+	install := func(name string) {
+		p, ok := idx.Latest(name)
+		if !ok {
+			t.Fatalf("package %s missing", name)
+		}
+		if err := db.InstallWithDeps(fs, idx, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"libc6", "libm6", "libstdc++6", "libgomp1", "zlib1g"} {
+		install(n)
+	}
+	for _, n := range app.RuntimePkgs {
+		install(n)
+	}
+	if vendorLibs {
+		for _, p := range sysprofile.VendorPackages(sys) {
+			if err := db.Install(fs, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if nativeLibc {
+		for _, p := range sysprofile.NativePackages(sys) {
+			if err := db.Install(fs, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return fs
+}
+
+// binaryFor synthesizes the executable artifact a given scheme's build
+// pipeline would produce.
+func binaryFor(sys *sysprofile.System, app *workloads.App, scheme string) *toolchain.Artifact {
+	libPaths := func() []string {
+		var out []string
+		out = append(out, "/usr/lib/libc.so.6")
+		for _, l := range app.Libs {
+			out = append(out, "/usr/lib/lib"+l+".so")
+		}
+		if app.Language == "c++" {
+			out = append(out, "/usr/lib/libstdc++.so.6")
+		}
+		return out
+	}
+	a := &toolchain.Artifact{
+		Kind:        toolchain.KindExecutable,
+		Name:        app.Name,
+		TargetISA:   sys.ISA,
+		DynamicLibs: libPaths(),
+		OptLevel:    "2",
+	}
+	switch scheme {
+	case "original":
+		a.Toolchain = "gnu-gcc-13"
+		a.Vendor = "gnu"
+		a.March = "x86-64"
+		if sys.ISA == toolchain.ISAArm {
+			a.March = "armv8-a"
+		}
+	case "native", "adapted":
+		a.Toolchain = "vendor"
+		a.Vendor = sys.Vendor
+		a.March = sys.NativeMarch
+	case "optimized":
+		a.Toolchain = "vendor"
+		a.Vendor = sys.Vendor
+		a.March = sys.NativeMarch
+		a.LTO = true
+		a.PGOOptimized = true
+	}
+	return a
+}
+
+func estimate(t *testing.T, sys *sysprofile.System, id string, scheme string, nodes int) Result {
+	t.Helper()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == id {
+			ref = r
+		}
+	}
+	if ref.App == nil {
+		t.Fatalf("unknown workload %s", id)
+	}
+	fs := runEnv(t, sys, ref.App, scheme != "original", scheme == "native")
+	bin := binaryFor(sys, ref.App, scheme)
+	res, err := Estimate(sys, ref, bin, fs, nodes)
+	if err != nil {
+		t.Fatalf("Estimate(%s, %s): %v", id, scheme, err)
+	}
+	return res
+}
+
+func TestSchemeOrdering(t *testing.T) {
+	// For every workload and system: original slower than adapted;
+	// adapted within a few percent of native.
+	for _, sys := range sysprofile.Both() {
+		for _, ref := range workloads.AllRefs() {
+			id := ref.ID()
+			orig := estimate(t, sys, id, "original", 16).Seconds
+			adapted := estimate(t, sys, id, "adapted", 16).Seconds
+			native := estimate(t, sys, id, "native", 16).Seconds
+			tr, _ := workloads.TraitsFor(id, sys.Name)
+			if tr.OrigOverNative > 1.05 && orig <= adapted {
+				t.Errorf("%s/%s: original (%.2f) not slower than adapted (%.2f)", sys.Name, id, orig, adapted)
+			}
+			if adapted < native {
+				t.Errorf("%s/%s: adapted (%.2f) faster than native (%.2f)", sys.Name, id, adapted, native)
+			}
+			if adapted > native*1.08 {
+				t.Errorf("%s/%s: adapted (%.2f) not comparable to native (%.2f)", sys.Name, id, adapted, native)
+			}
+		}
+	}
+}
+
+func TestNativeMatchesCalibration(t *testing.T) {
+	for _, sys := range sysprofile.Both() {
+		for _, ref := range workloads.AllRefs() {
+			tr, _ := workloads.TraitsFor(ref.ID(), sys.Name)
+			native := estimate(t, sys, ref.ID(), "native", 16).Seconds
+			if native < tr.NativeSec*0.97 || native > tr.NativeSec*1.03 {
+				t.Errorf("%s/%s: native = %.2f, calibrated %.2f", sys.Name, ref.ID(), native, tr.NativeSec)
+			}
+			orig := estimate(t, sys, ref.ID(), "original", 16).Seconds
+			ratio := orig / native
+			if ratio < tr.OrigOverNative*0.85 || ratio > tr.OrigOverNative*1.15 {
+				t.Errorf("%s/%s: orig/native = %.3f, calibrated %.3f", sys.Name, ref.ID(), ratio, tr.OrigOverNative)
+			}
+		}
+	}
+}
+
+func TestOptimizedScheme(t *testing.T) {
+	// openmx.pt13 on x86: the best LTO+PGO result (+30.4% over adapted).
+	adapted := estimate(t, sysprofile.X86Cluster(), "openmx.pt13", "adapted", 16).Seconds
+	optimized := estimate(t, sysprofile.X86Cluster(), "openmx.pt13", "optimized", 16).Seconds
+	gain := adapted/optimized - 1
+	if gain < 0.20 || gain > 0.40 {
+		t.Errorf("openmx.pt13 optimized gain = %.3f, want ~0.30", gain)
+	}
+	// lammps.chain on x86: the regression (-12.1%).
+	adapted = estimate(t, sysprofile.X86Cluster(), "lammps.chain", "adapted", 16).Seconds
+	optimized = estimate(t, sysprofile.X86Cluster(), "lammps.chain", "optimized", 16).Seconds
+	if optimized <= adapted {
+		t.Error("lammps.chain LTO+PGO should regress on x86")
+	}
+}
+
+func TestLuleshCommunicationStory(t *testing.T) {
+	// At 16 nodes the generic MPI's fallback path dominates on AArch64
+	// (+231%) but barely matters on x86 (+15.6%).
+	arm := sysprofile.ArmCluster()
+	x86 := sysprofile.X86Cluster()
+	armRatio := estimate(t, arm, "lulesh", "original", 16).Seconds /
+		estimate(t, arm, "lulesh", "native", 16).Seconds
+	x86Ratio := estimate(t, x86, "lulesh", "original", 16).Seconds /
+		estimate(t, x86, "lulesh", "native", 16).Seconds
+	if armRatio < 2.6 || armRatio > 4.0 {
+		t.Errorf("lulesh aarch64 orig/native = %.2f, want ~3.3", armRatio)
+	}
+	if x86Ratio < 1.05 || x86Ratio > 1.45 {
+		t.Errorf("lulesh x86 orig/native = %.2f, want ~1.16", x86Ratio)
+	}
+	// On one node (Figure 3) the gap is pure compute and much larger on
+	// x86 than the 16-node number suggests.
+	x86Ratio1 := estimate(t, x86, "lulesh", "original", 1).Seconds /
+		estimate(t, x86, "lulesh", "native", 1).Seconds
+	if x86Ratio1 < 1.8 || x86Ratio1 > 2.3 {
+		t.Errorf("lulesh x86 1-node orig/native = %.2f, want ~2.0 (Fig 3)", x86Ratio1)
+	}
+	res := estimate(t, arm, "lulesh", "original", 16)
+	if res.NetPath != mpisim.PathFallback {
+		t.Error("generic image should be on the fallback path")
+	}
+	res = estimate(t, arm, "lulesh", "adapted", 16)
+	if res.NetPath != mpisim.PathNative {
+		t.Error("adapted image should ride the native fabric")
+	}
+}
+
+func TestPartialLibraryReplacement(t *testing.T) {
+	// Replacing only some key libraries yields an intermediate time.
+	sys := sysprofile.X86Cluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "openmx.pt13" {
+			ref = r
+		}
+	}
+	bin := binaryFor(sys, ref.App, "original")
+
+	genericFS := runEnv(t, sys, ref.App, false, false)
+	allFS := runEnv(t, sys, ref.App, true, false)
+	partialFS := runEnv(t, sys, ref.App, false, false)
+	// Replace only BLAS in the partial image.
+	db, err := dpkg.Load(partialFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sysprofile.VendorPackages(sys) {
+		if p.Name == "libopenblas0" {
+			if err := db.Install(partialFS, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tGeneric, err := Estimate(sys, ref, bin, genericFS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPartial, err := Estimate(sys, ref, bin, partialFS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tAll, err := Estimate(sys, ref, bin, allFS, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tAll.Seconds < tPartial.Seconds && tPartial.Seconds < tGeneric.Seconds) {
+		t.Errorf("partial replacement not between: all=%.2f partial=%.2f generic=%.2f",
+			tAll.Seconds, tPartial.Seconds, tGeneric.Seconds)
+	}
+	if tPartial.LibFraction <= 0 || tPartial.LibFraction >= 1 {
+		t.Errorf("partial LibFraction = %f", tPartial.LibFraction)
+	}
+}
+
+func TestRuntimeFailures(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "comd" {
+			ref = r
+		}
+	}
+	fs := runEnv(t, sys, ref.App, false, false)
+
+	// Foreign ISA binary.
+	bin := binaryFor(sysprofile.ArmCluster(), ref.App, "original")
+	if _, err := Estimate(sys, ref, bin, fs, 16); err == nil || !strings.Contains(err.Error(), "exec format") {
+		t.Errorf("foreign ISA err = %v", err)
+	}
+	// March the CPU cannot run.
+	bin = binaryFor(sys, ref.App, "original")
+	bin.March = "ft2000plus"
+	bin.TargetISA = sys.ISA
+	if _, err := Estimate(sys, ref, bin, fs, 16); err == nil || !strings.Contains(err.Error(), "illegal instruction") {
+		t.Errorf("bad march err = %v", err)
+	}
+	// Missing shared library.
+	bin = binaryFor(sys, ref.App, "original")
+	bin.DynamicLibs = append(bin.DynamicLibs, "/usr/lib/libexotic.so.9")
+	if _, err := Estimate(sys, ref, bin, fs, 16); err == nil || !strings.Contains(err.Error(), "loading shared libraries") {
+		t.Errorf("missing lib err = %v", err)
+	}
+	// Not an executable.
+	obj := &toolchain.Artifact{Kind: toolchain.KindObject, TargetISA: sys.ISA, March: "x86-64"}
+	if _, err := Estimate(sys, ref, obj, fs, 16); err == nil {
+		t.Error("object accepted as executable")
+	}
+	// Bad node count.
+	bin = binaryFor(sys, ref.App, "original")
+	if _, err := Estimate(sys, ref, bin, fs, 0); err == nil {
+		t.Error("0 nodes accepted")
+	}
+}
+
+func TestInstrumentedBinarySlowdown(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "comd" {
+			ref = r
+		}
+	}
+	fs := runEnv(t, sys, ref.App, true, false)
+	plain := binaryFor(sys, ref.App, "adapted")
+	instr := binaryFor(sys, ref.App, "adapted")
+	instr.PGOInstrumented = true
+	tPlain, err := Estimate(sys, ref, plain, fs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tInstr, err := Estimate(sys, ref, instr, fs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tInstr.CompSeconds <= tPlain.CompSeconds*1.1 {
+		t.Errorf("instrumentation overhead missing: %.3f vs %.3f", tInstr.CompSeconds, tPlain.CompSeconds)
+	}
+}
+
+func TestCalibrateExplicitAndDerived(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	lulesh, _ := workloads.TraitsFor("lulesh", sys.Name)
+	cal, err := Calibrate(lulesh, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.LibGain != 1.50 || cal.CCGain != 1.333 {
+		t.Errorf("explicit calibration not honored: %+v", cal)
+	}
+	hpl, _ := workloads.TraitsFor("hpl", sys.Name)
+	cal, err = Calibrate(hpl, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.LibGain <= 1 || cal.CCGain <= 1 {
+		t.Errorf("derived gains not positive: %+v", cal)
+	}
+	// hpccg: gains below 1 (vendor toolchain regression).
+	hpccg, _ := workloads.TraitsFor("hpccg", sys.Name)
+	cal, err = Calibrate(hpccg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.CCGain >= 1 {
+		t.Errorf("hpccg CCGain = %f, want < 1", cal.CCGain)
+	}
+}

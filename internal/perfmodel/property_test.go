@@ -1,0 +1,111 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/workloads"
+)
+
+// TestPropertyStrongScalingCompute: compute time shrinks monotonically
+// with node count for every workload (the model is strong-scaling on the
+// compute side).
+func TestPropertyStrongScalingCompute(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "minife" {
+			ref = r
+		}
+	}
+	fs := runEnv(t, sys, ref.App, true, false)
+	bin := binaryFor(sys, ref.App, "adapted")
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		a, err := Estimate(sys, ref, bin, fs, n)
+		if err != nil {
+			return false
+		}
+		b, err := Estimate(sys, ref, bin, fs, n+1)
+		if err != nil {
+			return false
+		}
+		return b.CompSeconds < a.CompSeconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyOptimizedLibsNeverSlower: for every workload and system,
+// swapping in the optimized stack never increases run time.
+func TestPropertyOptimizedLibsNeverSlower(t *testing.T) {
+	for _, sys := range sysprofile.Both() {
+		for _, ref := range workloads.AllRefs() {
+			bin := binaryFor(sys, ref.App, "original")
+			generic := runEnv(t, sys, ref.App, false, false)
+			optimized := runEnv(t, sys, ref.App, true, false)
+			a, err := Estimate(sys, ref, bin, generic, 16)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sys.Name, ref.ID(), err)
+			}
+			b, err := Estimate(sys, ref, bin, optimized, 16)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sys.Name, ref.ID(), err)
+			}
+			if b.Seconds > a.Seconds+1e-9 {
+				t.Errorf("%s/%s: optimized libs slowed the run: %.3f -> %.3f",
+					sys.Name, ref.ID(), a.Seconds, b.Seconds)
+			}
+		}
+	}
+}
+
+// TestPropertyDeterministicEstimates: the model is a pure function of its
+// inputs.
+func TestPropertyDeterministicEstimates(t *testing.T) {
+	sys := sysprofile.ArmCluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "lammps.lj" {
+			ref = r
+		}
+	}
+	fs := runEnv(t, sys, ref.App, true, true)
+	bin := binaryFor(sys, ref.App, "optimized")
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a, err1 := Estimate(sys, ref, bin, fs, n)
+		b, err2 := Estimate(sys, ref, bin, fs, n)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCommGrowsWithNodes: communication time never shrinks when
+// nodes are added.
+func TestPropertyCommGrowsWithNodes(t *testing.T) {
+	sys := sysprofile.ArmCluster()
+	var ref workloads.Ref
+	for _, r := range workloads.AllRefs() {
+		if r.ID() == "lulesh" {
+			ref = r
+		}
+	}
+	fs := runEnv(t, sys, ref.App, false, false)
+	bin := binaryFor(sys, ref.App, "original")
+	prev := -1.0
+	for n := 1; n <= 16; n++ {
+		res, err := Estimate(sys, ref, bin, fs, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CommSeconds < prev {
+			t.Errorf("comm time shrank at %d nodes: %.3f -> %.3f", n, prev, res.CommSeconds)
+		}
+		prev = res.CommSeconds
+	}
+}

@@ -1,0 +1,359 @@
+// Package registry implements a minimal OCI distribution registry over
+// HTTP (stdlib only) plus a push/pull client — the repository hop of the
+// coMtainer workflow ("images are then distributed via repositories",
+// paper §1). It supports the subset of the distribution API the workflow
+// exercises: blob upload/download and manifest push/pull by tag or digest.
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/oci"
+)
+
+// Server is an in-memory OCI registry.
+type Server struct {
+	mu    sync.RWMutex
+	blobs *oci.Store
+	// tags maps "name:tag" -> manifest descriptor.
+	tags map[string]oci.Descriptor
+}
+
+// NewServer returns an empty registry server.
+func NewServer() *Server {
+	return &Server{blobs: oci.NewStore(), tags: make(map[string]oci.Descriptor)}
+}
+
+// Handler returns the HTTP handler implementing the distribution API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/", s.route)
+	return mux
+}
+
+// route dispatches /v2/<name>/(manifests|blobs)/<ref> paths.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v2/")
+	if rest == "" {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	// Tag enumeration: GET /v2/<name>/tags/list.
+	if strings.HasSuffix(rest, "/tags/list") && r.Method == http.MethodGet {
+		s.listTags(w, strings.TrimSuffix(rest, "/tags/list"))
+		return
+	}
+	// Find the resource kind separator from the right so names may
+	// contain slashes.
+	var name, kind, ref string
+	for _, k := range []string{"/manifests/", "/blobs/"} {
+		if i := strings.LastIndex(rest, k); i >= 0 {
+			name, kind, ref = rest[:i], strings.Trim(k, "/"), rest[i+len(k):]
+			break
+		}
+	}
+	if name == "" || ref == "" {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	switch {
+	case kind == "manifests" && r.Method == http.MethodGet:
+		s.getManifest(w, name, ref)
+	case kind == "manifests" && r.Method == http.MethodHead:
+		s.getManifest(w, name, ref)
+	case kind == "manifests" && r.Method == http.MethodPut:
+		s.putManifest(w, r, name, ref)
+	case kind == "blobs" && r.Method == http.MethodGet:
+		s.getBlob(w, ref)
+	case kind == "blobs" && r.Method == http.MethodHead:
+		s.headBlob(w, ref)
+	case kind == "blobs" && r.Method == http.MethodPut && strings.HasPrefix(ref, "uploads"):
+		s.putBlob(w, r)
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) getManifest(w http.ResponseWriter, name, ref string) {
+	s.mu.RLock()
+	desc, ok := s.tags[name+":"+ref]
+	s.mu.RUnlock()
+	if !ok {
+		// Maybe a digest reference.
+		if d, err := digest.Parse(ref); err == nil && s.blobs.Has(d) {
+			desc = oci.Descriptor{MediaType: oci.MediaTypeManifest, Digest: d}
+			ok = true
+		}
+	}
+	if !ok {
+		http.Error(w, "manifest unknown", http.StatusNotFound)
+		return
+	}
+	b, err := s.blobs.Get(desc.Digest)
+	if err != nil {
+		http.Error(w, "manifest blob missing", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", oci.MediaTypeManifest)
+	w.Header().Set("Docker-Content-Digest", string(desc.Digest))
+	_, _ = w.Write(b)
+}
+
+func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	d := s.blobs.Put(body)
+	s.mu.Lock()
+	s.tags[name+":"+ref] = oci.Descriptor{
+		MediaType: oci.MediaTypeManifest,
+		Digest:    d,
+		Size:      int64(len(body)),
+	}
+	s.mu.Unlock()
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) getBlob(w http.ResponseWriter, ref string) {
+	d, err := digest.Parse(ref)
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	b, err := s.blobs.Get(d)
+	if err != nil {
+		http.Error(w, "blob unknown", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Docker-Content-Digest", string(d))
+	_, _ = w.Write(b)
+}
+
+func (s *Server) headBlob(w http.ResponseWriter, ref string) {
+	d, err := digest.Parse(ref)
+	if err != nil || !s.blobs.Has(d) {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) putBlob(w http.ResponseWriter, r *http.Request) {
+	want := r.URL.Query().Get("digest")
+	d, err := digest.Parse(want)
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	if err := s.blobs.PutVerified(body, d); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.WriteHeader(http.StatusCreated)
+}
+
+// listTags serves the distribution tags/list endpoint.
+func (s *Server) listTags(w http.ResponseWriter, name string) {
+	s.mu.RLock()
+	var tags []string
+	for k := range s.tags {
+		if n, tag, ok := strings.Cut(k, ":"); ok && n == name {
+			tags = append(tags, tag)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(tags)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Name string   `json:"name"`
+		Tags []string `json:"tags"`
+	}{Name: name, Tags: tags})
+}
+
+// Tags lists the known "name:tag" keys (for inspection).
+func (s *Server) Tags() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tags))
+	for k := range s.tags {
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- Client ---
+
+// Client pushes and pulls images against a registry base URL
+// (e.g. "http://127.0.0.1:5000").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the registry at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) url(parts ...string) string {
+	return c.Base + "/v2/" + strings.Join(parts, "/")
+}
+
+// Ping checks the registry is alive.
+func (c *Client) Ping() error {
+	resp, err := c.HTTP.Get(c.Base + "/v2/")
+	if err != nil {
+		return fmt.Errorf("registry: ping: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registry: ping: status %s", resp.Status)
+	}
+	return nil
+}
+
+// pushBlob uploads one blob (monolithic PUT).
+func (c *Client) pushBlob(name string, content []byte) error {
+	d := digest.FromBytes(content)
+	req, err := http.NewRequest(http.MethodPut,
+		c.url(name, "blobs", "uploads")+"?digest="+string(d),
+		strings.NewReader(string(content)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: uploading blob %s: %w", d.Short(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("registry: uploading blob %s: status %s", d.Short(), resp.Status)
+	}
+	return nil
+}
+
+// Push uploads the image tagged localTag in repo to the registry as
+// name:tag — all referenced blobs first, then the manifest.
+func (c *Client) Push(repo *oci.Repository, localTag, name, tag string) error {
+	desc, err := repo.Resolve(localTag)
+	if err != nil {
+		return err
+	}
+	m, err := oci.LoadManifest(repo.Store, desc.Digest)
+	if err != nil {
+		return err
+	}
+	refs := append([]oci.Descriptor{m.Config}, m.Layers...)
+	for _, rd := range refs {
+		b, err := repo.Store.Get(rd.Digest)
+		if err != nil {
+			return err
+		}
+		if err := c.pushBlob(name, b); err != nil {
+			return err
+		}
+	}
+	manifestBytes, err := repo.Store.Get(desc.Digest)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.url(name, "manifests", tag),
+		strings.NewReader(string(manifestBytes)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", oci.MediaTypeManifest)
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: pushing manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("registry: pushing manifest: status %s", resp.Status)
+	}
+	return nil
+}
+
+// fetch retrieves a URL body.
+func (c *Client) fetch(url string) ([]byte, string, error) {
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("registry: GET %s: status %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return nil, "", err
+	}
+	return b, resp.Header.Get("Docker-Content-Digest"), nil
+}
+
+// ListTags returns the tags of a repository name on the registry, sorted.
+func (c *Client) ListTags(name string) ([]string, error) {
+	body, _, err := c.fetch(c.url(name, "tags", "list"))
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Tags []string `json:"tags"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("registry: decoding tags list: %w", err)
+	}
+	return out.Tags, nil
+}
+
+// Pull downloads name:tag from the registry into repo under localTag.
+func (c *Client) Pull(repo *oci.Repository, name, tag, localTag string) error {
+	manifestBytes, dgst, err := c.fetch(c.url(name, "manifests", tag))
+	if err != nil {
+		return err
+	}
+	md := digest.FromBytes(manifestBytes)
+	if dgst != "" && dgst != string(md) {
+		return fmt.Errorf("registry: manifest digest mismatch: header %s, content %s", dgst, md)
+	}
+	repo.Store.Put(manifestBytes)
+	m, err := oci.LoadManifest(repo.Store, md)
+	if err != nil {
+		return err
+	}
+	for _, rd := range append([]oci.Descriptor{m.Config}, m.Layers...) {
+		if repo.Store.Has(rd.Digest) {
+			continue
+		}
+		b, _, err := c.fetch(c.url(name, "blobs", string(rd.Digest)))
+		if err != nil {
+			return err
+		}
+		if err := repo.Store.PutVerified(b, rd.Digest); err != nil {
+			return fmt.Errorf("registry: corrupt blob from server: %w", err)
+		}
+	}
+	repo.Tag(localTag, oci.Descriptor{
+		MediaType: oci.MediaTypeManifest,
+		Digest:    md,
+		Size:      int64(len(manifestBytes)),
+	})
+	return nil
+}

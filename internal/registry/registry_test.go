@@ -1,0 +1,193 @@
+package registry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"comtainer/internal/fsim"
+	"comtainer/internal/oci"
+)
+
+func testImageRepo(t *testing.T) (*oci.Repository, string) {
+	t.Helper()
+	repo := oci.NewRepository()
+	l1 := fsim.New()
+	l1.WriteFile("/bin/sh", []byte("shell"), 0o755)
+	l2 := fsim.New()
+	l2.WriteFile("/app/demo", []byte("payload"), 0o755)
+	desc, err := oci.WriteImage(repo.Store, oci.ImageConfig{
+		Architecture: "amd64", OS: "linux",
+		Config: oci.ExecConfig{Entrypoint: []string{"/app/demo"}},
+	}, []*fsim.FS{l1, l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.Tag("demo.dist", desc)
+	return repo, "demo.dist"
+}
+
+func TestPushPullRoundTrip(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	if err := client.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, tag := testImageRepo(t)
+	if err := client.Push(src, tag, "user/demo", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.Tags()) != 1 || srv.Tags()[0] != "user/demo:v1" {
+		t.Errorf("server tags = %v", srv.Tags())
+	}
+
+	dst := oci.NewRepository()
+	if err := client.Pull(dst, "user/demo", "v1", "demo.pulled"); err != nil {
+		t.Fatal(err)
+	}
+	img, err := dst.LoadByTag("demo.pulled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := img.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flat.ReadFile("/app/demo")
+	if err != nil || string(got) != "payload" {
+		t.Errorf("pulled content = %q, %v", got, err)
+	}
+	// Digest-identical manifest on both sides.
+	srcDesc, _ := src.Resolve(tag)
+	dstDesc, _ := dst.Resolve("demo.pulled")
+	if srcDesc.Digest != dstDesc.Digest {
+		t.Error("manifest digest changed in transit")
+	}
+}
+
+func TestPullUnknown(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	if err := client.Pull(oci.NewRepository(), "ghost", "v1", "x"); err == nil {
+		t.Error("pulled a nonexistent image")
+	}
+}
+
+func TestManifestByDigest(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	src, tag := testImageRepo(t)
+	if err := client.Push(src, tag, "demo", "latest"); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ := src.Resolve(tag)
+	resp, err := http.Get(ts.URL + "/v2/demo/manifests/" + string(desc.Digest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET by digest: %s", resp.Status)
+	}
+}
+
+func TestBlobUploadRejectsBadDigest(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	req, _ := http.NewRequest(http.MethodPut,
+		ts.URL+"/v2/x/blobs/uploads?digest=sha256:"+strings.Repeat("0", 64),
+		strings.NewReader("content that does not match"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated {
+		t.Error("mismatched digest accepted")
+	}
+}
+
+func TestBadRoutes(t *testing.T) {
+	ts := httptest.NewServer(NewServer().Handler())
+	defer ts.Close()
+	for _, p := range []string{"/v2/onlyname", "/v2/x/blobs/not-a-digest"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("GET %s succeeded", p)
+		}
+	}
+}
+
+func TestListTags(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewClient(ts.URL)
+	src, tag := testImageRepo(t)
+	for _, v := range []string{"v1", "v2", "latest"} {
+		if err := client.Push(src, tag, "team/app", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Push(src, tag, "other/thing", "v9"); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := client.ListTags("team/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"latest", "v1", "v2"}
+	if len(tags) != 3 || tags[0] != want[0] || tags[1] != want[1] || tags[2] != want[2] {
+		t.Errorf("tags = %v, want %v", tags, want)
+	}
+	empty, err := client.ListTags("nobody/nothing")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty repo tags = %v, %v", empty, err)
+	}
+}
+
+func TestConcurrentPushPull(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	src, tag := testImageRepo(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(ts.URL)
+			name := fmt.Sprintf("user%d/app", i)
+			if err := c.Push(src, tag, name, "v1"); err != nil {
+				errs <- err
+				return
+			}
+			dst := oci.NewRepository()
+			if err := c.Pull(dst, name, "v1", "local"); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if len(srv.Tags()) != 8 {
+		t.Errorf("server holds %d tags, want 8", len(srv.Tags()))
+	}
+}

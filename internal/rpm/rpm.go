@@ -1,0 +1,235 @@
+// Package rpm implements RPM's version model: NEVRA parsing and the
+// rpmvercmp ordering algorithm.
+//
+// The paper's prototype "only implements parsing for dpkg/apt and supports
+// Debian-based distributions only. However, our approach is equally
+// applicable to other package managers, such as RPM" (§4.6). This package
+// backs that claim: it provides the version semantics an RPM-based system
+// adapter needs for the libo package-replacement decision, mirroring what
+// internal/dpkg provides for Debian systems.
+package rpm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EVR is an RPM epoch-version-release triple.
+type EVR struct {
+	Epoch   int
+	Version string
+	Release string
+}
+
+// ParseEVR parses "[epoch:]version[-release]".
+func ParseEVR(s string) (EVR, error) {
+	out := EVR{}
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		e, err := strconv.Atoi(s[:i])
+		if err != nil || e < 0 {
+			return EVR{}, fmt.Errorf("rpm: invalid epoch in %q", s)
+		}
+		out.Epoch = e
+		s = s[i+1:]
+	}
+	if i := strings.LastIndexByte(s, '-'); i >= 0 {
+		out.Release = s[i+1:]
+		s = s[:i]
+	}
+	if s == "" {
+		return EVR{}, fmt.Errorf("rpm: empty version")
+	}
+	out.Version = s
+	return out, nil
+}
+
+// String renders the EVR back to its canonical form.
+func (e EVR) String() string {
+	s := e.Version
+	if e.Epoch > 0 {
+		s = fmt.Sprintf("%d:%s", e.Epoch, s)
+	}
+	if e.Release != "" {
+		s += "-" + e.Release
+	}
+	return s
+}
+
+// Compare orders two EVRs: epoch first, then version, then release, each
+// by rpmvercmp.
+func (e EVR) Compare(other EVR) int {
+	switch {
+	case e.Epoch < other.Epoch:
+		return -1
+	case e.Epoch > other.Epoch:
+		return 1
+	}
+	if c := Vercmp(e.Version, other.Version); c != 0 {
+		return c
+	}
+	return Vercmp(e.Release, other.Release)
+}
+
+// Less reports whether e sorts strictly before other.
+func (e EVR) Less(other EVR) bool { return e.Compare(other) < 0 }
+
+// NEVRA is a fully qualified RPM package identity:
+// name-[epoch:]version-release.arch.
+type NEVRA struct {
+	Name string
+	EVR
+	Arch string
+}
+
+// ParseNEVRA parses "name-[epoch:]version-release.arch", the filename-ish
+// form (e.g. "openblas-0.3.26-3.el9.x86_64").
+func ParseNEVRA(s string) (NEVRA, error) {
+	archIdx := strings.LastIndexByte(s, '.')
+	if archIdx < 0 {
+		return NEVRA{}, fmt.Errorf("rpm: %q has no architecture suffix", s)
+	}
+	arch := s[archIdx+1:]
+	rest := s[:archIdx]
+	relIdx := strings.LastIndexByte(rest, '-')
+	if relIdx < 0 {
+		return NEVRA{}, fmt.Errorf("rpm: %q has no release", s)
+	}
+	release := rest[relIdx+1:]
+	rest = rest[:relIdx]
+	verIdx := strings.LastIndexByte(rest, '-')
+	if verIdx < 0 {
+		return NEVRA{}, fmt.Errorf("rpm: %q has no version", s)
+	}
+	name := rest[:verIdx]
+	evr, err := ParseEVR(rest[verIdx+1:])
+	if err != nil {
+		return NEVRA{}, err
+	}
+	evr.Release = release
+	if name == "" || arch == "" {
+		return NEVRA{}, fmt.Errorf("rpm: malformed NEVRA %q", s)
+	}
+	return NEVRA{Name: name, EVR: evr, Arch: arch}, nil
+}
+
+// String renders the NEVRA back to its canonical form.
+func (n NEVRA) String() string {
+	return fmt.Sprintf("%s-%s.%s", n.Name, n.EVR, n.Arch)
+}
+
+// segment classes of rpmvercmp.
+const (
+	segEnd = iota
+	segNumeric
+	segAlpha
+	segTilde
+	segCaret
+)
+
+func isAlnum(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }
+func isAlphaB(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// Vercmp implements rpmvercmp: split both strings into alternating numeric
+// and alphabetic segments (separators ignored), compare pairwise; numeric
+// segments beat alphabetic ones; a tilde sorts before everything (pre-
+// releases), a caret after the bare prefix but before longer versions.
+func Vercmp(a, b string) int {
+	i, j := 0, 0
+	for {
+		// Handle tilde/caret before skipping separators.
+		aTilde := i < len(a) && a[i] == '~'
+		bTilde := j < len(b) && b[j] == '~'
+		if aTilde || bTilde {
+			switch {
+			case aTilde && bTilde:
+				i++
+				j++
+				continue
+			case aTilde:
+				return -1
+			default:
+				return 1
+			}
+		}
+		aCaret := i < len(a) && a[i] == '^'
+		bCaret := j < len(b) && b[j] == '^'
+		if aCaret || bCaret {
+			switch {
+			case aCaret && bCaret:
+				i++
+				j++
+				continue
+			case aCaret && j >= len(b):
+				return 1 // "1.0^x" > "1.0"
+			case aCaret:
+				return -1 // "1.0^x" < "1.0.1"
+			case bCaret && i >= len(a):
+				return -1
+			default:
+				return 1
+			}
+		}
+		// Skip non-alphanumeric separators.
+		for i < len(a) && !isAlnum(a[i]) && a[i] != '~' && a[i] != '^' {
+			i++
+		}
+		for j < len(b) && !isAlnum(b[j]) && b[j] != '~' && b[j] != '^' {
+			j++
+		}
+		if i >= len(a) || j >= len(b) {
+			switch {
+			case i < len(a):
+				return 1
+			case j < len(b):
+				return -1
+			default:
+				return 0
+			}
+		}
+		// Take one segment of the same class from each side.
+		var sa, sb string
+		numeric := isDigitB(a[i])
+		if numeric {
+			si := i
+			for i < len(a) && isDigitB(a[i]) {
+				i++
+			}
+			sa = strings.TrimLeft(a[si:i], "0")
+			if !isDigitB(b[j]) {
+				return 1 // numeric beats alpha
+			}
+			sj := j
+			for j < len(b) && isDigitB(b[j]) {
+				j++
+			}
+			sb = strings.TrimLeft(b[sj:j], "0")
+			if len(sa) != len(sb) {
+				if len(sa) < len(sb) {
+					return -1
+				}
+				return 1
+			}
+		} else {
+			si := i
+			for i < len(a) && isAlphaB(a[i]) {
+				i++
+			}
+			sa = a[si:i]
+			if isDigitB(b[j]) {
+				return -1
+			}
+			sj := j
+			for j < len(b) && isAlphaB(b[j]) {
+				j++
+			}
+			sb = b[sj:j]
+		}
+		if c := strings.Compare(sa, sb); c != 0 {
+			return c
+		}
+	}
+}

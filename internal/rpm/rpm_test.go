@@ -1,0 +1,175 @@
+package rpm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVercmpKnownOrderings(t *testing.T) {
+	// Each pair asserts a < b (classic rpmvercmp fixtures).
+	less := [][2]string{
+		{"1.0", "1.1"},
+		{"1.9", "1.10"},
+		{"1.0", "1.0.1"},
+		{"1.0~rc1", "1.0"},
+		{"1.0~rc1", "1.0~rc2"},
+		{"a", "b"},
+		{"1.0a", "1.0b"},
+		{"alpha", "beta"},
+		{"2.50", "2.050a"}, // leading zeros stripped: 50 == 050, then 'a' extends
+		{"5.5p1", "5.5p10"},
+		{"10a2", "10b2"},
+		{"1.0", "1.0^20240101"},  // caret extends the bare version
+		{"1.0^20240101", "1.01"}, // but sorts before a longer base
+		{"xz", "xzp"},
+	}
+	for _, pair := range less {
+		a, b := pair[0], pair[1]
+		if c := Vercmp(a, b); c != -1 {
+			t.Errorf("Vercmp(%q, %q) = %d, want -1", a, b, c)
+		}
+		if c := Vercmp(b, a); c != 1 {
+			t.Errorf("Vercmp(%q, %q) = %d, want 1", b, a, c)
+		}
+	}
+}
+
+func TestVercmpEqual(t *testing.T) {
+	eq := [][2]string{
+		{"1.0", "1.0"},
+		{"1.0", "1_0"},    // separators ignored
+		{"2.50", "2.050"}, // leading zeros
+		{"1.0~~", "1.0~~"},
+	}
+	for _, pair := range eq {
+		if c := Vercmp(pair[0], pair[1]); c != 0 {
+			t.Errorf("Vercmp(%q, %q) = %d, want 0", pair[0], pair[1], c)
+		}
+	}
+}
+
+func TestVercmpNumericBeatsAlpha(t *testing.T) {
+	if Vercmp("1.0.1", "1.0a") != 1 {
+		t.Error("numeric segment should beat alphabetic")
+	}
+	if Vercmp("1.0a", "1.0.1") != -1 {
+		t.Error("alphabetic segment should lose to numeric")
+	}
+}
+
+func TestParseEVR(t *testing.T) {
+	e, err := ParseEVR("2:3.12.0-5.el9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Epoch != 2 || e.Version != "3.12.0" || e.Release != "5.el9" {
+		t.Errorf("parsed %+v", e)
+	}
+	if e.String() != "2:3.12.0-5.el9" {
+		t.Errorf("String = %q", e.String())
+	}
+	e, err = ParseEVR("1.0")
+	if err != nil || e.Epoch != 0 || e.Release != "" {
+		t.Errorf("parsed %+v, %v", e, err)
+	}
+	for _, bad := range []string{"", ":1.0", "x:1.0", "-r1"} {
+		if _, err := ParseEVR(bad); err == nil {
+			t.Errorf("ParseEVR(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEVRCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.0-1", "1.0-2", -1},
+		{"1:0.5-1", "0.9-1", 1}, // epoch dominates
+		{"1.0-1.el9", "1.0-1.el10", -1},
+		{"3.12.0-3", "3.12.0-3", 0},
+		{"1.0~rc1-1", "1.0-1", -1},
+	}
+	for _, c := range cases {
+		ea, err := ParseEVR(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := ParseEVR(c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ea.Compare(eb); got != c.want {
+			t.Errorf("Compare(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if c.want == -1 && !ea.Less(eb) {
+			t.Errorf("Less(%q, %q) = false", c.a, c.b)
+		}
+	}
+}
+
+func TestParseNEVRA(t *testing.T) {
+	n, err := ParseNEVRA("openblas-0.3.26-3.el9.x86_64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "openblas" || n.Version != "0.3.26" || n.Release != "3.el9" || n.Arch != "x86_64" {
+		t.Errorf("parsed %+v", n)
+	}
+	if n.String() != "openblas-0.3.26-3.el9.x86_64" {
+		t.Errorf("String = %q", n.String())
+	}
+	// Hyphenated names parse (last two hyphens split version/release).
+	n, err = ParseNEVRA("vendor-blas-2:1.0-1.aarch64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "vendor-blas" || n.Epoch != 2 {
+		t.Errorf("parsed %+v", n)
+	}
+	for _, bad := range []string{"", "noarch", "name.x86_64", "-1.0-1.x86_64"} {
+		if _, err := ParseNEVRA(bad); err == nil {
+			t.Errorf("ParseNEVRA(%q) succeeded", bad)
+		}
+	}
+}
+
+func randVer(rng *rand.Rand) string {
+	parts := []string{"1", "2", "10", "0.3.26", "1.0~rc1", "5.5p1", "1.0^2024", "el9", "alpha"}
+	v := parts[rng.Intn(len(parts))]
+	if rng.Intn(2) == 0 {
+		v += "." + parts[rng.Intn(len(parts))]
+	}
+	return v
+}
+
+func TestPropertyVercmpAntisymmetricReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randVer(rng), randVer(rng)
+		return Vercmp(a, b) == -Vercmp(b, a) && Vercmp(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyVercmpTransitiveOnTriples(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := []string{randVer(rng), randVer(rng), randVer(rng)}
+		// Bubble into order and verify pairwise consistency.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Vercmp(vs[j], vs[i]) < 0 {
+					vs[i], vs[j] = vs[j], vs[i]
+				}
+			}
+		}
+		return Vercmp(vs[0], vs[1]) <= 0 && Vercmp(vs[1], vs[2]) <= 0 && Vercmp(vs[0], vs[2]) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package shell
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, line string, env Env) []Command {
+	t.Helper()
+	cmds, err := Parse(line, env)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", line, err)
+	}
+	return cmds
+}
+
+func TestSimpleCommand(t *testing.T) {
+	cmds := mustParse(t, "gcc -O2 -c main.c -o main.o", nil)
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands", len(cmds))
+	}
+	want := []string{"gcc", "-O2", "-c", "main.c", "-o", "main.o"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %v", cmds[0].Argv)
+	}
+}
+
+func TestAndList(t *testing.T) {
+	cmds := mustParse(t, "make clean && make -j8 ; make install", nil)
+	if len(cmds) != 3 {
+		t.Fatalf("got %d commands: %v", len(cmds), cmds)
+	}
+	if cmds[1].Argv[1] != "-j8" {
+		t.Errorf("second command = %v", cmds[1].Argv)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	cmds := mustParse(t, `echo 'hello world' "two  spaces" a\ b`, nil)
+	want := []string{"echo", "hello world", "two  spaces", "a b"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}
+
+func TestSingleQuotesNoExpansion(t *testing.T) {
+	env := MapEnv{"CC": "gcc"}
+	cmds := mustParse(t, `echo '$CC' "$CC"`, env)
+	if cmds[0].Argv[1] != "$CC" {
+		t.Errorf("single-quoted = %q, want literal", cmds[0].Argv[1])
+	}
+	if cmds[0].Argv[2] != "gcc" {
+		t.Errorf("double-quoted = %q, want expanded", cmds[0].Argv[2])
+	}
+}
+
+func TestVariableExpansion(t *testing.T) {
+	env := MapEnv{"CC": "g++", "CFLAGS": "-O2 -march=x86-64", "PREFIX": "/usr"}
+	cmds := mustParse(t, "$CC $CFLAGS -o ${PREFIX}/bin/app main.cc", env)
+	want := []string{"g++", "-O2", "-march=x86-64", "-o", "/usr/bin/app", "main.cc"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}
+
+func TestUndefinedVarExpandsEmpty(t *testing.T) {
+	cmds := mustParse(t, "echo a${NOPE}b", MapEnv{})
+	if cmds[0].Argv[1] != "ab" {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+	// A word that is entirely an unset variable vanishes.
+	cmds = mustParse(t, "echo $NOPE tail", MapEnv{})
+	want := []string{"echo", "tail"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}
+
+func TestComments(t *testing.T) {
+	cmds := mustParse(t, "make all # build everything", nil)
+	want := []string{"make", "all"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}
+
+func TestLoneDollar(t *testing.T) {
+	cmds := mustParse(t, "echo $ $.x", nil)
+	want := []string{"echo", "$", "$.x"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"echo 'unterminated",
+		`echo "unterminated`,
+		"echo ${UNTERMINATED",
+		"echo ${}",
+		"cat < in.txt",
+		"prog > out.txt",
+		"a | b",
+		"run &",
+	}
+	for _, line := range bad {
+		if _, err := Parse(line, nil); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestEmptyAndSeparatorsOnly(t *testing.T) {
+	if cmds := mustParse(t, "   ", nil); len(cmds) != 0 {
+		t.Errorf("blank line produced commands: %v", cmds)
+	}
+	if cmds := mustParse(t, " && ; ", nil); len(cmds) != 0 {
+		t.Errorf("separators-only line produced commands: %v", cmds)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Argv: []string{"gcc", "-DNAME=a b", "main.c"}}
+	round := mustParse(t, c.String(), nil)
+	if !reflect.DeepEqual(round[0].Argv, c.Argv) {
+		t.Errorf("String round trip: %q -> %q", c.Argv, round[0].Argv)
+	}
+}
+
+func TestMultilineContinuations(t *testing.T) {
+	// Build engines join continuation lines with \n; the tokenizer treats
+	// newlines as whitespace.
+	cmds := mustParse(t, "gcc -c a.c\n  -o a.o", nil)
+	want := []string{"gcc", "-c", "a.c", "-o", "a.o"}
+	if !reflect.DeepEqual(cmds[0].Argv, want) {
+		t.Errorf("argv = %q", cmds[0].Argv)
+	}
+}

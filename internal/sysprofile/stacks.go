@@ -1,0 +1,281 @@
+package sysprofile
+
+import (
+	"bytes"
+	"fmt"
+
+	"comtainer/internal/dpkg"
+	"comtainer/internal/toolchain"
+)
+
+// Size scaling: the simulation represents each MiB of a real image as one
+// KiB of file content, so Table-3 style size accounting keeps the paper's
+// proportions without gigabyte fixtures. SizeUnit is that scale factor.
+const SizeUnit = 1024 // bytes per simulated "MiB"
+
+// padding produces deterministic filler content of the given simulated-MiB
+// size, standing in for the bulk of a real package's payload.
+func padding(pkg string, simMiB float64) []byte {
+	n := int(simMiB * SizeUnit)
+	if n <= 0 {
+		return nil
+	}
+	pattern := []byte(pkg + " payload block. ")
+	return bytes.Repeat(pattern, n/len(pattern)+1)[:n]
+}
+
+// libSpec describes one library package shipped in a stack.
+type libSpec struct {
+	pkg       string  // package name
+	version   string  // package version
+	so        string  // shared object base name, e.g. "libblas"
+	soVer     string  // shared object version suffix, e.g. "3"
+	gain      float64 // PerfGain of this build (1.0 = default stack)
+	optimized bool
+	netPlugin bool    // MPI fabric plugin present
+	simMiB    float64 // simulated size
+	deps      []string
+	section   string
+}
+
+// build materializes the spec as a dpkg package for the given ISA/vendor.
+func (ls libSpec) build(isa, vendor string) *dpkg.Package {
+	soFile := fmt.Sprintf("/usr/lib/%s.so.%s", ls.so, ls.soVer)
+	var art *toolchain.Artifact
+	if ls.netPlugin || ls.so == "libmpi" {
+		art = toolchain.MPILibraryArtifact(ls.so, vendor, isa, ls.gain, ls.netPlugin)
+	} else {
+		art = toolchain.LibraryArtifact(ls.so, vendor, isa, ls.gain, ls.optimized)
+	}
+	p := &dpkg.Package{
+		Name:         ls.pkg,
+		Version:      dpkg.Version(ls.version),
+		Architecture: debArch(isa),
+		Section:      ls.section,
+		Description:  fmt.Sprintf("%s shared library (%s build)", ls.so, vendor),
+		Optimized:    ls.optimized,
+		Vendor:       vendor,
+		PerfGain:     ls.gain,
+		Files: []dpkg.PackageFile{
+			{Path: soFile, Data: art.Encode(), Mode: 0o644},
+			{Path: fmt.Sprintf("/usr/lib/%s.so", ls.so), Link: fmt.Sprintf("%s.so.%s", ls.so, ls.soVer)},
+			{Path: fmt.Sprintf("/usr/share/doc/%s/changelog.gz", ls.pkg), Data: padding(ls.pkg, ls.simMiB), Mode: 0o644},
+		},
+	}
+	for _, d := range ls.deps {
+		dep, err := dpkg.ParseDependency(d)
+		if err != nil {
+			panic("sysprofile: bad dependency literal " + d)
+		}
+		p.Depends = append(p.Depends, dep)
+	}
+	if ls.section == "" {
+		p.Section = "libs"
+	}
+	return p
+}
+
+// debArch maps an ISA name to the Debian architecture string.
+func debArch(isa string) string {
+	if isa == toolchain.ISAArm {
+		return "arm64"
+	}
+	return "amd64"
+}
+
+// coreSpecs returns the always-installed runtime stack of the distribution
+// base image, sized per ISA (the paper's Table 3 shows the x86-64 stack is
+// substantially more bloated than the AArch64 one).
+func coreSpecs(isa string) []libSpec {
+	x86 := isa == toolchain.ISAx86
+	sz := func(xv, av float64) float64 {
+		if x86 {
+			return xv
+		}
+		return av
+	}
+	return []libSpec{
+		{pkg: "libc6", version: "2.39-0ubuntu8", so: "libc", soVer: "6", gain: 1.0, simMiB: sz(58, 31)},
+		{pkg: "libm6", version: "2.39-0ubuntu8", so: "libm", soVer: "6", gain: 1.0, simMiB: sz(9, 4.5), deps: []string{"libc6"}},
+		{pkg: "libstdc++6", version: "14.2.0-4ubuntu1", so: "libstdc++", soVer: "6", gain: 1.0, simMiB: sz(24, 12), deps: []string{"libc6"}},
+		{pkg: "libgomp1", version: "14.2.0-4ubuntu1", so: "libgomp", soVer: "1", gain: 1.0, simMiB: sz(5, 2.5), deps: []string{"libc6"}},
+		{pkg: "zlib1g", version: "1.3.dfsg-3", so: "libz", soVer: "1", gain: 1.0, simMiB: sz(3, 1.8), deps: []string{"libc6"}},
+		{pkg: "libgfortran5", version: "14.2.0-4ubuntu1", so: "libgfortran", soVer: "5", gain: 1.0, simMiB: sz(6, 3), deps: []string{"libc6"}},
+	}
+}
+
+// numericSpecs returns the apt-installable numeric/communication libraries
+// workloads depend on, in their default (unoptimized) builds.
+func numericSpecs(isa string) []libSpec {
+	x86 := isa == toolchain.ISAx86
+	sz := func(xv, av float64) float64 {
+		if x86 {
+			return xv
+		}
+		return av
+	}
+	return []libSpec{
+		{pkg: "libopenblas0", version: "0.3.26+ds-1", so: "libblas", soVer: "3", gain: 1.0, simMiB: sz(6, 4.2), deps: []string{"libc6", "libgfortran5"}},
+		{pkg: "liblapack3", version: "3.12.0-3", so: "liblapack", soVer: "3", gain: 1.0, simMiB: sz(5, 3.6), deps: []string{"libopenblas0"}},
+		{pkg: "libfftw3-double3", version: "3.3.10-1ubuntu3", so: "libfftw3", soVer: "3", gain: 1.0, simMiB: sz(4.4, 3.1), deps: []string{"libc6"}},
+		{pkg: "libopenmpi3", version: "4.1.6-7ubuntu2", so: "libmpi", soVer: "40", gain: 1.0, simMiB: sz(3.6, 2.4), deps: []string{"libc6", "zlib1g"}},
+	}
+}
+
+// vendorSpecs returns the system-side optimized builds of the same
+// packages: identical names, a later "+hpcN" version, Optimized provenance
+// and the calibrated per-library gains the perfmodel consumes.
+func vendorSpecs(s *System) []libSpec {
+	x86 := s.ISA == toolchain.ISAx86
+	g := func(xv, av float64) float64 {
+		if x86 {
+			return xv
+		}
+		return av
+	}
+	sz := func(xv, av float64) float64 {
+		if x86 {
+			return xv
+		}
+		return av
+	}
+	specs := []libSpec{
+		{pkg: "libm6", version: "2.39-0ubuntu8+hpc1", so: "libm", soVer: "6",
+			gain: g(1.35, 1.30), optimized: true, simMiB: sz(11, 5.5), deps: []string{"libc6"}},
+		{pkg: "libstdc++6", version: "14.2.0-4ubuntu1+hpc1", so: "libstdc++", soVer: "6",
+			gain: g(1.15, 1.10), optimized: true, simMiB: sz(26, 13), deps: []string{"libc6"}},
+		{pkg: "libgomp1", version: "14.2.0-4ubuntu1+hpc1", so: "libgomp", soVer: "1",
+			gain: g(1.20, 1.15), optimized: true, simMiB: sz(6, 3), deps: []string{"libc6"}},
+		{pkg: "zlib1g", version: "1.3.dfsg-3+hpc1", so: "libz", soVer: "1",
+			gain: g(1.30, 1.20), optimized: true, simMiB: sz(3.2, 2), deps: []string{"libc6"}},
+		{pkg: "libopenblas0", version: "0.3.26+ds-1+hpc1", so: "libblas", soVer: "3",
+			gain: g(2.40, 2.00), optimized: true, simMiB: sz(8, 5.5), deps: []string{"libc6", "libgfortran5"}},
+		{pkg: "liblapack3", version: "3.12.0-3+hpc1", so: "liblapack", soVer: "3",
+			gain: g(2.20, 1.90), optimized: true, simMiB: sz(6.5, 4.6), deps: []string{"libopenblas0"}},
+		{pkg: "libfftw3-double3", version: "3.3.10-1ubuntu3+hpc1", so: "libfftw3", soVer: "3",
+			gain: g(2.00, 1.70), optimized: true, simMiB: sz(5.5, 4), deps: []string{"libc6"}},
+		{pkg: "libopenmpi3", version: "4.1.6-7ubuntu2+hpc1", so: "libmpi", soVer: "40",
+			gain: g(1.20, 1.15), optimized: true, netPlugin: true, simMiB: sz(4.8, 3.2), deps: []string{"libc6", "zlib1g"}},
+	}
+	return specs
+}
+
+// NativePackages returns the packages only native (on-system) builds link
+// against: the vendor stack plus the vendor C runtime. Adapters never
+// replace libc inside an image for ABI-compatibility reasons, so this
+// ~3% is the gap between "adapted" and "native" in Figure 9.
+func NativePackages(s *System) []*dpkg.Package {
+	specs := append(vendorSpecs(s), libSpec{
+		pkg: "libc6", version: "2.39-0ubuntu8+hpc1", so: "libc", soVer: "6",
+		gain: 1.03, optimized: true, simMiB: 60, deps: nil,
+	})
+	var out []*dpkg.Package
+	for _, ls := range specs {
+		out = append(out, ls.build(s.ISA, s.Vendor))
+	}
+	return out
+}
+
+// GenericPackages returns the distribution's default package universe for
+// an ISA: core runtime plus the numeric libraries.
+func GenericPackages(isa string) []*dpkg.Package {
+	var out []*dpkg.Package
+	for _, ls := range append(coreSpecs(isa), numericSpecs(isa)...) {
+		out = append(out, ls.build(isa, "gnu"))
+	}
+	out = append(out, BuildEssential(isa), BaseFiles(isa))
+	return out
+}
+
+// VendorPackages returns the system's optimized package builds.
+func VendorPackages(s *System) []*dpkg.Package {
+	var out []*dpkg.Package
+	for _, ls := range vendorSpecs(s) {
+		out = append(out, ls.build(s.ISA, s.Vendor))
+	}
+	return out
+}
+
+// GenericIndex returns an apt index of the generic package universe.
+func GenericIndex(isa string) *dpkg.Index {
+	idx := dpkg.NewIndex()
+	for _, p := range GenericPackages(isa) {
+		idx.Add(p)
+	}
+	return idx
+}
+
+// BaseFiles returns the distribution's miscellaneous system files package,
+// which carries the bulk of the base image's footprint (the x86-64 stack
+// is notably more bloated, per Table 3).
+func BaseFiles(isa string) *dpkg.Package {
+	size := 57.0
+	if isa == toolchain.ISAArm {
+		size = 37.0
+	}
+	return &dpkg.Package{
+		Name:         "base-files",
+		Version:      "13ubuntu10",
+		Architecture: debArch(isa),
+		Section:      "admin",
+		Description:  "distribution base system files",
+		Vendor:       "gnu",
+		Files: []dpkg.PackageFile{
+			{Path: "/usr/share/base-files/motd", Data: []byte("Ubuntu 24.04 LTS\n"), Mode: 0o644},
+			{Path: "/usr/share/base-files/payload.bin", Data: padding("base-files", size), Mode: 0o644},
+		},
+	}
+}
+
+// BuildEssential returns the meta-package installing the default compiler
+// driver entry points (the files the Env image replaces with hijacker
+// links).
+func BuildEssential(isa string) *dpkg.Package {
+	tools := []string{"gcc", "g++", "cc", "c++", "gfortran", "ar", "ranlib", "ld", "make"}
+	p := &dpkg.Package{
+		Name:         "build-essential",
+		Version:      "12.10ubuntu1",
+		Architecture: debArch(isa),
+		Section:      "devel",
+		Description:  "toolchain driver entry points",
+		Vendor:       "gnu",
+		Depends:      []dpkg.Dependency{{Name: "libc6"}},
+	}
+	for _, t := range tools {
+		p.Files = append(p.Files, dpkg.PackageFile{
+			Path: "/usr/bin/" + t,
+			Data: []byte("#!driver " + t + "\n"),
+			Mode: 0o755,
+		})
+	}
+	p.Files = append(p.Files, dpkg.PackageFile{
+		Path: "/usr/share/doc/build-essential/changelog.gz",
+		Data: padding("build-essential", 2.5),
+		Mode: 0o644,
+	})
+	return p
+}
+
+// VendorToolchainPackage returns the package shipping the vendor compiler
+// entry points in the Sysenv image.
+func VendorToolchainPackage(s *System) *dpkg.Package {
+	names := []string{"gcc", "g++", "cc", "c++", "gfortran", "ar", "ranlib", "ld"}
+	p := &dpkg.Package{
+		Name:         s.Vendor + "-toolchain",
+		Version:      "2025.1",
+		Architecture: debArch(s.ISA),
+		Section:      "devel",
+		Description:  "vendor compiler suite for " + s.Name,
+		Vendor:       s.Vendor,
+		Optimized:    true,
+		Depends:      []dpkg.Dependency{{Name: "libc6"}},
+	}
+	for _, t := range names {
+		p.Files = append(p.Files, dpkg.PackageFile{
+			Path: "/opt/" + s.Vendor + "/bin/" + t,
+			Data: []byte("#!vendor-driver " + t + "\n"),
+			Mode: 0o755,
+		})
+	}
+	return p
+}

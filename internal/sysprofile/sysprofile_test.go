@@ -1,0 +1,237 @@
+package sysprofile
+
+import (
+	"strings"
+	"testing"
+
+	"comtainer/internal/containerfile"
+	"comtainer/internal/dpkg"
+	"comtainer/internal/oci"
+	"comtainer/internal/toolchain"
+)
+
+func TestClusters(t *testing.T) {
+	x := X86Cluster()
+	a := ArmCluster()
+	if x.ISA != toolchain.ISAx86 || a.ISA != toolchain.ISAArm {
+		t.Error("ISA wrong")
+	}
+	if x.Nodes != 16 || a.Nodes != 16 {
+		t.Error("Table 1 says 16 nodes each")
+	}
+	if !x.CanRun("icelake-server") || x.CanRun("ft2000plus") {
+		t.Error("x86 runnable march set wrong")
+	}
+	if !a.CanRun("armv8-a") || a.CanRun("x86-64") {
+		t.Error("arm runnable march set wrong")
+	}
+	// Vendor registries resolve the standard driver names to the vendor.
+	tc, ok := x.Toolchains.Lookup("gcc")
+	if !ok || tc.Vendor != "intellic" {
+		t.Errorf("x86 sysenv gcc = %+v", tc)
+	}
+	if _, err := ByName("x86-64"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("riscv"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.Contains(rows[0].CPU, "8358P") || !strings.Contains(rows[1].CPU, "FT-2000+") {
+		t.Errorf("CPU models wrong: %+v", rows)
+	}
+}
+
+func TestGenericPackagesConsistency(t *testing.T) {
+	for _, isa := range []string{toolchain.ISAx86, toolchain.ISAArm} {
+		pkgs := GenericPackages(isa)
+		byName := map[string]*dpkg.Package{}
+		for _, p := range pkgs {
+			byName[p.Name] = p
+			if p.Optimized {
+				t.Errorf("generic package %s marked optimized", p.Name)
+			}
+		}
+		for _, want := range []string{"libc6", "libm6", "libstdc++6", "libopenblas0", "libopenmpi3", "build-essential"} {
+			if _, ok := byName[want]; !ok {
+				t.Errorf("%s: missing generic package %s", isa, want)
+			}
+		}
+		// Every dependency resolvable within the index.
+		idx := GenericIndex(isa)
+		for _, p := range pkgs {
+			if _, err := idx.Resolve(p.Depends); err != nil {
+				t.Errorf("%s: deps of %s unresolvable: %v", isa, p.Name, err)
+			}
+		}
+	}
+}
+
+func TestVendorPackagesNewerAndOptimized(t *testing.T) {
+	for _, s := range Both() {
+		generic := map[string]dpkg.Version{}
+		for _, p := range GenericPackages(s.ISA) {
+			generic[p.Name] = p.Version
+		}
+		for _, p := range VendorPackages(s) {
+			if !p.Optimized || p.PerfGain <= 1.0 {
+				t.Errorf("%s: vendor package %s gain=%f optimized=%v", s.Name, p.Name, p.PerfGain, p.Optimized)
+			}
+			gv, ok := generic[p.Name]
+			if !ok {
+				t.Errorf("%s: vendor package %s has no generic counterpart", s.Name, p.Name)
+				continue
+			}
+			if !gv.Less(p.Version) {
+				t.Errorf("%s: vendor %s version %s not newer than generic %s", s.Name, p.Name, p.Version, gv)
+			}
+		}
+	}
+}
+
+func TestAptIndexPrefersVendor(t *testing.T) {
+	s := X86Cluster()
+	idx := s.AptIndex()
+	p, ok := idx.Latest("libopenblas0")
+	if !ok || !p.Optimized {
+		t.Errorf("Latest(libopenblas0) = %+v", p)
+	}
+	// The generic version is still reachable with a constraint.
+	q, ok := idx.Find(dpkg.Dependency{Name: "libopenblas0", Op: dpkg.OpLT, Version: p.Version})
+	if !ok || q.Optimized {
+		t.Errorf("constrained find = %+v", q)
+	}
+}
+
+func TestMPIPackageCarriesPlugin(t *testing.T) {
+	for _, s := range Both() {
+		var vendorMPI *dpkg.Package
+		for _, p := range VendorPackages(s) {
+			if p.Name == "libopenmpi3" {
+				vendorMPI = p
+			}
+		}
+		if vendorMPI == nil {
+			t.Fatalf("%s: no vendor MPI", s.Name)
+		}
+		var soData []byte
+		for _, f := range vendorMPI.Files {
+			if strings.HasSuffix(f.Path, ".so.40") {
+				soData = f.Data
+			}
+		}
+		art, err := toolchain.Decode(soData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !art.MPINetPlugin {
+			t.Errorf("%s: vendor MPI lacks fabric plugin", s.Name)
+		}
+	}
+}
+
+func TestPopulateUserSide(t *testing.T) {
+	repo := oci.NewRepository()
+	if err := PopulateUserSide(repo, toolchain.ISAx86); err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []string{TagUbuntu, TagEnv, TagBase} {
+		img, err := repo.LoadByTag(tag)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		flat, err := img.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !flat.Exists("/usr/lib/libc.so.6") {
+			t.Errorf("%s missing libc", tag)
+		}
+		db, err := dpkg.Load(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := db.Installed("libc6"); !ok {
+			t.Errorf("%s: dpkg db missing libc6", tag)
+		}
+	}
+	env, _ := repo.LoadByTag(TagEnv)
+	if env.Config.Config.Labels[containerfile.RoleLabel] != containerfile.RoleEnv {
+		t.Error("env image missing role label")
+	}
+	flat, _ := env.Flatten()
+	if !flat.Exists("/usr/bin/gcc") || !flat.Exists("/.comtainer/hijacker") {
+		t.Error("env image missing toolchain or hijacker")
+	}
+	// Plain ubuntu has no compiler.
+	ub, _ := repo.LoadByTag(TagUbuntu)
+	ubFlat, _ := ub.Flatten()
+	if ubFlat.Exists("/usr/bin/gcc") {
+		t.Error("stock ubuntu ships a compiler")
+	}
+}
+
+func TestPopulateSystemSide(t *testing.T) {
+	s := ArmCluster()
+	repo := oci.NewRepository()
+	if err := PopulateSystemSide(repo, s); err != nil {
+		t.Fatal(err)
+	}
+	sysenv, err := repo.LoadByTag(TagSysenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := sysenv.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flat.Exists("/opt/phytium/bin/gcc") {
+		t.Error("sysenv missing vendor compiler")
+	}
+	// Optimized libs preinstalled.
+	data, err := flat.ReadFile("/usr/lib/libblas.so.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := toolchain.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.Optimized || art.Vendor != "phytium" {
+		t.Errorf("sysenv blas = %+v", art)
+	}
+	if _, err := repo.LoadByTag(TagRebase); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseImageSizesMatchTable3Shape(t *testing.T) {
+	// The x86 stack must be substantially larger than the AArch64 stack
+	// (Table 3: ~170 vs ~95 simulated MiB for dist images).
+	sizes := map[string]float64{}
+	for _, isa := range []string{toolchain.ISAx86, toolchain.ISAArm} {
+		repo := oci.NewRepository()
+		if err := PopulateUserSide(repo, isa); err != nil {
+			t.Fatal(err)
+		}
+		img, _ := repo.LoadByTag(TagBase)
+		flat, _ := img.Flatten()
+		sizes[isa] = float64(flat.TotalSize()) / SizeUnit
+	}
+	x, a := sizes[toolchain.ISAx86], sizes[toolchain.ISAArm]
+	if x < 90 || x > 180 {
+		t.Errorf("x86 base simulated size = %.1f MiB, want ~105-170 with numeric libs added later", x)
+	}
+	if a >= x {
+		t.Errorf("aarch64 base (%.1f) not smaller than x86 (%.1f)", a, x)
+	}
+	if x/a < 1.4 || x/a > 2.6 {
+		t.Errorf("x86/aarch64 size ratio = %.2f, want roughly 1.8", x/a)
+	}
+}

@@ -1,0 +1,72 @@
+package toolchain
+
+import (
+	"fmt"
+
+	"comtainer/internal/digest"
+)
+
+// BoltTool is the name of the simulated post-link binary layout optimizer
+// (a BOLT-style tool, see Panchenko et al.; the paper's §3 names binary
+// layout optimization as further headroom beyond LTO and PGO).
+const BoltTool = "comt-bolt"
+
+// runBolt executes: comt-bolt -profile <path> -o <out> <binary>.
+// It reads a linked executable, verifies the profile exists, and emits a
+// layout-optimized copy of the artifact.
+func (r *Runner) runBolt(argv []string) error {
+	var profile, out, input string
+	i := 1
+	for i < len(argv) {
+		switch argv[i] {
+		case "-profile":
+			if i+1 >= len(argv) {
+				return fmt.Errorf("toolchain: %s: -profile needs an argument", BoltTool)
+			}
+			profile = argv[i+1]
+			i += 2
+		case "-o":
+			if i+1 >= len(argv) {
+				return fmt.Errorf("toolchain: %s: -o needs an argument", BoltTool)
+			}
+			out = argv[i+1]
+			i += 2
+		default:
+			if input != "" {
+				return fmt.Errorf("toolchain: %s: multiple inputs (%s, %s)", BoltTool, input, argv[i])
+			}
+			input = argv[i]
+			i++
+		}
+	}
+	if profile == "" || input == "" {
+		return fmt.Errorf("toolchain: %s: usage: %s -profile <prof> [-o out] <binary>", BoltTool, BoltTool)
+	}
+	if out == "" {
+		out = input
+	}
+	profData, err := r.FS.ReadFile(r.abs(profile))
+	if err != nil {
+		return fmt.Errorf("toolchain: %s: cannot open profile %s", BoltTool, profile)
+	}
+	binData, err := r.FS.ReadFile(r.abs(input))
+	if err != nil {
+		return fmt.Errorf("toolchain: %s: %s: no such file", BoltTool, input)
+	}
+	art, err := Decode(binData)
+	if err != nil {
+		return fmt.Errorf("toolchain: %s: %s is not an executable", BoltTool, input)
+	}
+	if art.Kind != KindExecutable {
+		return fmt.Errorf("toolchain: %s: %s is a %s, need an executable", BoltTool, input, art.Kind)
+	}
+	optimized := *art
+	optimized.LayoutOptimized = true
+	if optimized.ProfileData == "" {
+		optimized.ProfileData = string(digest.FromBytes(profData))
+	}
+	// Layout optimization is cheap relative to recompilation, but not free.
+	r.Stats.CompileUnits += float64(len(art.Sources)) * 10
+	r.FS.WriteFile(r.abs(out), optimized.Encode(), 0o755)
+	return nil
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import "fmt"
+
+// Traits are the calibrated per-workload, per-system performance
+// characteristics the analytical model consumes (DESIGN.md §4). The
+// calibration targets come from the paper's reported percentages; the
+// pipeline that decides *whether* each gain applies is the system under
+// test.
+type Traits struct {
+	// NativeSec is the execution time of the natively built binary on 16
+	// nodes (the Figure-9 "native" bar).
+	NativeSec float64
+	// OrigOverNative is T(original)/T(native) at 16 nodes — the
+	// adaptability-issue gap this workload exhibits.
+	OrigOverNative float64
+	// LibShare apportions the compute-side gap between library quality
+	// (libo) and compiler quality (cxxo): LibGain = LC^LibShare.
+	LibShare float64
+	// ExplicitLibGain/ExplicitCCGain override the auto-calibration when
+	// non-zero (used for LULESH, whose Figure-3 decomposition is pinned).
+	ExplicitLibGain float64
+	ExplicitCCGain  float64
+	// LTOGain / PGOGain are the fractional compute-side speedups of the
+	// two advanced optimizations (negative = regression).
+	LTOGain float64
+	PGOGain float64
+	// CommFrac is the fraction of native 16-node time spent in MPI
+	// communication; AvgMsgKB parameterizes the alpha-beta fabric model.
+	CommFrac float64
+	AvgMsgKB float64
+}
+
+// traitKey is "workloadID|system".
+func traitKey(id, system string) string { return id + "|" + system }
+
+// traits maps workload+system to calibrated values. Workload IDs follow
+// Ref.ID() ("lulesh", "lammps.lj", ...); systems are "x86-64"/"aarch64".
+var traits = map[string]Traits{}
+
+// reg registers the traits of one workload on both systems.
+func reg(id string, x86, arm Traits) {
+	traits[traitKey(id, "x86-64")] = x86
+	traits[traitKey(id, "aarch64")] = arm
+}
+
+func init() {
+	// The nine benchmarks.
+	reg("hpl",
+		Traits{NativeSec: 40, OrigOverNative: 2.10, LibShare: 0.70, LTOGain: 0.036, PGOGain: 0.024, CommFrac: 0.06, AvgMsgKB: 1024},
+		Traits{NativeSec: 124, OrigOverNative: 1.70, LibShare: 0.70, LTOGain: 0.024, PGOGain: 0.016, CommFrac: 0.05, AvgMsgKB: 1024})
+	reg("hpcg",
+		Traits{NativeSec: 24, OrigOverNative: 1.55, LibShare: 0.55, LTOGain: 0.025, PGOGain: 0.015, CommFrac: 0.05, AvgMsgKB: 32},
+		Traits{NativeSec: 75, OrigOverNative: 1.45, LibShare: 0.55, LTOGain: -0.090, PGOGain: -0.059, CommFrac: 0.05, AvgMsgKB: 32})
+	reg("lulesh",
+		Traits{NativeSec: 24, OrigOverNative: 1.156, ExplicitLibGain: 1.50, ExplicitCCGain: 1.333,
+			LTOGain: 0.175, PGOGain: 0.096, CommFrac: 0.90, AvgMsgKB: 256},
+		Traits{NativeSec: 74, OrigOverNative: 3.31, ExplicitLibGain: 2.20, ExplicitCCGain: 1.623,
+			LTOGain: 0.16, PGOGain: 0.09, CommFrac: 0.90, AvgMsgKB: 256})
+	reg("comd",
+		Traits{NativeSec: 8, OrigOverNative: 1.60, LibShare: 0.45, LTOGain: 0.048, PGOGain: 0.032, CommFrac: 0.04, AvgMsgKB: 64},
+		Traits{NativeSec: 25, OrigOverNative: 1.50, LibShare: 0.45, LTOGain: 0.036, PGOGain: 0.024, CommFrac: 0.04, AvgMsgKB: 64})
+	reg("hpccg",
+		// The lone regression: the vendor toolchain's aggressive
+		// optimizations hurt this kernel (paper §5.2).
+		Traits{NativeSec: 6, OrigOverNative: 0.92, LibShare: 0.40, LTOGain: 0.012, PGOGain: 0.008, CommFrac: 0.05, AvgMsgKB: 32},
+		Traits{NativeSec: 19, OrigOverNative: 0.94, LibShare: 0.40, LTOGain: 0.018, PGOGain: 0.012, CommFrac: 0.05, AvgMsgKB: 32})
+	reg("miniaero",
+		Traits{NativeSec: 28, OrigOverNative: 1.75, LibShare: 0.40, LTOGain: 0.060, PGOGain: 0.040, CommFrac: 0.04, AvgMsgKB: 128},
+		Traits{NativeSec: 88, OrigOverNative: 1.55, LibShare: 0.40, LTOGain: 0.030, PGOGain: 0.020, CommFrac: 0.04, AvgMsgKB: 128})
+	reg("miniamr",
+		Traits{NativeSec: 18, OrigOverNative: 1.50, LibShare: 0.40, LTOGain: 0.018, PGOGain: 0.012, CommFrac: 0.06, AvgMsgKB: 16},
+		Traits{NativeSec: 56, OrigOverNative: 1.40, LibShare: 0.40, LTOGain: 0.012, PGOGain: 0.008, CommFrac: 0.05, AvgMsgKB: 16})
+	reg("minife",
+		Traits{NativeSec: 20, OrigOverNative: 1.80, LibShare: 0.60, LTOGain: 0.054, PGOGain: 0.036, CommFrac: 0.05, AvgMsgKB: 64},
+		Traits{NativeSec: 62, OrigOverNative: 1.60, LibShare: 0.60, LTOGain: 0.024, PGOGain: 0.016, CommFrac: 0.05, AvgMsgKB: 64})
+	reg("minimd",
+		Traits{NativeSec: 9, OrigOverNative: 1.65, LibShare: 0.40, LTOGain: 0.030, PGOGain: 0.020, CommFrac: 0.03, AvgMsgKB: 64},
+		Traits{NativeSec: 28, OrigOverNative: 1.45, LibShare: 0.40, LTOGain: 0.048, PGOGain: 0.032, CommFrac: 0.03, AvgMsgKB: 64})
+
+	// LAMMPS: the paper's maximum adaptation win (+253% on x86-64,
+	// workload eam) and the x86 PGO regression (chain, -12.1%).
+	reg("lammps.chain",
+		Traits{NativeSec: 16, OrigOverNative: 2.30, LibShare: 0.50, LTOGain: -0.073, PGOGain: -0.048, CommFrac: 0.05, AvgMsgKB: 128},
+		Traits{NativeSec: 50, OrigOverNative: 1.75, LibShare: 0.50, LTOGain: 0.012, PGOGain: 0.008, CommFrac: 0.05, AvgMsgKB: 128})
+	reg("lammps.chute",
+		Traits{NativeSec: 15, OrigOverNative: 2.10, LibShare: 0.50, LTOGain: 0.030, PGOGain: 0.020, CommFrac: 0.05, AvgMsgKB: 128},
+		Traits{NativeSec: 47, OrigOverNative: 1.65, LibShare: 0.50, LTOGain: 0.036, PGOGain: 0.024, CommFrac: 0.05, AvgMsgKB: 128})
+	reg("lammps.eam",
+		Traits{NativeSec: 30, OrigOverNative: 3.53, LibShare: 0.50, LTOGain: 0.060, PGOGain: 0.040, CommFrac: 0.05, AvgMsgKB: 128},
+		Traits{NativeSec: 93, OrigOverNative: 1.90, LibShare: 0.50, LTOGain: 0.054, PGOGain: 0.036, CommFrac: 0.05, AvgMsgKB: 128})
+	reg("lammps.lj",
+		Traits{NativeSec: 10, OrigOverNative: 2.00, LibShare: 0.50, LTOGain: 0.048, PGOGain: 0.032, CommFrac: 0.05, AvgMsgKB: 128},
+		// The best AArch64 optimization result: +17.7%.
+		Traits{NativeSec: 31, OrigOverNative: 1.70, LibShare: 0.50, LTOGain: 0.106, PGOGain: 0.071, CommFrac: 0.05, AvgMsgKB: 128})
+	reg("lammps.rhodo",
+		Traits{NativeSec: 32, OrigOverNative: 2.50, LibShare: 0.50, LTOGain: 0.072, PGOGain: 0.048, CommFrac: 0.06, AvgMsgKB: 128},
+		Traits{NativeSec: 99, OrigOverNative: 1.85, LibShare: 0.50, LTOGain: 0.042, PGOGain: 0.028, CommFrac: 0.06, AvgMsgKB: 128})
+
+	// OpenMX: dense-linear-algebra heavy, the best x86 optimization win
+	// (pt13, +30.4%).
+	reg("openmx.awf5e",
+		Traits{NativeSec: 21, OrigOverNative: 2.20, LibShare: 0.65, LTOGain: 0.090, PGOGain: 0.060, CommFrac: 0.08, AvgMsgKB: 256},
+		Traits{NativeSec: 65, OrigOverNative: 1.80, LibShare: 0.65, LTOGain: 0.048, PGOGain: 0.032, CommFrac: 0.08, AvgMsgKB: 256})
+	reg("openmx.awf7e",
+		Traits{NativeSec: 28, OrigOverNative: 2.30, LibShare: 0.65, LTOGain: 0.108, PGOGain: 0.072, CommFrac: 0.08, AvgMsgKB: 256},
+		Traits{NativeSec: 87, OrigOverNative: 1.85, LibShare: 0.65, LTOGain: 0.060, PGOGain: 0.040, CommFrac: 0.08, AvgMsgKB: 256})
+	reg("openmx.nitro",
+		Traits{NativeSec: 18, OrigOverNative: 2.00, LibShare: 0.65, LTOGain: 0.054, PGOGain: 0.036, CommFrac: 0.07, AvgMsgKB: 256},
+		Traits{NativeSec: 56, OrigOverNative: 1.70, LibShare: 0.65, LTOGain: 0.030, PGOGain: 0.020, CommFrac: 0.07, AvgMsgKB: 256})
+	reg("openmx.pt13",
+		Traits{NativeSec: 38, OrigOverNative: 2.997, LibShare: 0.65, LTOGain: 0.182, PGOGain: 0.122, CommFrac: 0.08, AvgMsgKB: 256},
+		Traits{NativeSec: 118, OrigOverNative: 1.95, LibShare: 0.65, LTOGain: 0.072, PGOGain: 0.048, CommFrac: 0.08, AvgMsgKB: 256})
+}
+
+// TraitsFor returns the calibrated traits of a workload on a system.
+func TraitsFor(id, system string) (Traits, error) {
+	t, ok := traits[traitKey(id, system)]
+	if !ok {
+		return Traits{}, fmt.Errorf("workloads: no traits for %s on %s", id, system)
+	}
+	return t, nil
+}
+
+// Table2Row is one cell pair of the paper's Table 2.
+type Table2Row struct {
+	App      string
+	Workload string
+	LoC      int
+}
+
+// Table2 returns the workload listing.
+func Table2() []Table2Row {
+	var rows []Table2Row
+	for _, r := range AllRefs() {
+		rows = append(rows, Table2Row{App: r.App.Name, Workload: r.Workload, LoC: r.App.ReportedLoC})
+	}
+	return rows
+}
+
+// KeyLibSOs returns the shared-object base names whose optimization state
+// drives the app's library gain. The C++ runtime participates implicitly.
+func (a *App) KeyLibSOs() []string {
+	out := []string{}
+	for _, l := range a.Libs {
+		out = append(out, "lib"+l)
+	}
+	if a.Language == "c++" {
+		out = append(out, "libstdc++")
+	}
+	return out
+}
