@@ -9,7 +9,11 @@ package comtainer
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -21,6 +25,7 @@ import (
 	"comtainer/internal/fsim"
 	"comtainer/internal/oci"
 	"comtainer/internal/perfmodel"
+	"comtainer/internal/registry"
 	"comtainer/internal/sysprofile"
 	"comtainer/internal/tarfs"
 	"comtainer/internal/toolchain"
@@ -534,6 +539,77 @@ func BenchmarkSystemRebuildRedirect(b *testing.B) {
 		if _, err := system.Adapt(res.DistTag, adapter.DefaultAdapted()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelPull measures the distribution subsystem over the
+// Table-3 image set: every app's extended image is pushed to an
+// in-process registry whose blob endpoints carry injected network
+// latency, then the whole set is pulled serially (Workers=1) and
+// concurrently (Workers=8) into fresh stores. Cross-image dedup means
+// shared base layers transfer once per pull pass; the concurrent pass
+// must be at least 2x faster than the serial one.
+func BenchmarkParallelPull(b *testing.B) {
+	srv := registry.NewServer()
+	inner := srv.Handler()
+	const blobLatency = 2 * time.Millisecond
+	var blobGets int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.Contains(r.URL.Path, "/blobs/") {
+			atomic.AddInt64(&blobGets, 1)
+			time.Sleep(blobLatency)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	user, err := core.NewUserSide(toolchain.ISAx86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	push := registry.NewClient(ts.URL)
+	push.Workers = 8
+	var names []string
+	for _, app := range workloads.Apps() {
+		res, err := user.BuildExtended(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := push.Push(user.Repo, res.ExtendedTag, app.Name, "v1"); err != nil {
+			b.Fatal(err)
+		}
+		names = append(names, app.Name)
+	}
+
+	pull := func(workers int) (time.Duration, int64) {
+		dst := oci.NewRepository()
+		c := registry.NewClient(ts.URL)
+		c.Workers = workers
+		before := atomic.LoadInt64(&blobGets)
+		t0 := time.Now()
+		for _, name := range names {
+			if err := c.Pull(dst, name, "v1", name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(t0), atomic.LoadInt64(&blobGets) - before
+	}
+
+	var serial, parallel time.Duration
+	var transfers int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serial, transfers = pull(1)
+		parallel, _ = pull(8)
+	}
+	speedup := float64(serial) / float64(parallel)
+	b.ReportMetric(float64(serial)/1e6, "serial-ms")
+	b.ReportMetric(float64(parallel)/1e6, "parallel-ms")
+	b.ReportMetric(speedup, "speedup-x")
+	b.ReportMetric(float64(transfers), "blob-transfers")
+	b.ReportMetric(float64(len(names)), "images")
+	if speedup < 2 {
+		b.Errorf("parallel pull speedup %.2fx, want >= 2x", speedup)
 	}
 }
 

@@ -1,9 +1,17 @@
-// Command comtainer-registry serves a minimal OCI distribution registry —
-// the repository hop between the user side and the HPC systems.
+// Command comtainer-registry serves an OCI distribution registry — the
+// repository hop between the user side and the HPC systems.
+//
+// By default images live in memory and vanish with the process. With
+// -data the registry persists blobs (sharded content-addressed files),
+// tags and in-progress upload spools under the given directory, so a
+// restarted registry serves everything previously pushed.
 //
 // Usage:
 //
-//	comtainer-registry -addr 127.0.0.1:5000
+//	comtainer-registry -addr 127.0.0.1:5000 [-data /var/lib/comtainer-registry] [-gc]
+//
+// -gc runs reference-counting garbage collection on startup, deleting
+// every blob unreachable from the tagged manifests.
 package main
 
 import (
@@ -17,8 +25,29 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5000", "listen address")
+	data := flag.String("data", "", "persist blobs and tags under this directory (default: in memory)")
+	gc := flag.Bool("gc", false, "garbage-collect unreachable blobs on startup")
 	flag.Parse()
-	srv := registry.NewServer()
+
+	var srv *registry.Server
+	if *data != "" {
+		var err error
+		srv, err = registry.NewServerAt(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("comtainer-registry persisting under %s (%d blobs)\n", *data, len(srv.Blobs().Digests()))
+	} else {
+		srv = registry.NewServer()
+		fmt.Println("comtainer-registry running in memory (use -data to persist)")
+	}
+	if *gc {
+		dropped, err := srv.GC()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gc: dropped %d unreachable blobs\n", dropped)
+	}
 	fmt.Printf("comtainer-registry listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -2,6 +2,12 @@
 // the user side pushes the extended image to an OCI registry served over
 // localhost, the "remote" HPC system pulls it, rebuilds, redirects and
 // runs — the full Figure-1 distribution picture.
+//
+// The registry persists to disk via internal/distrib: after the push the
+// example kills the server and starts a fresh one over the same data
+// directory, proving the pull works across a registry restart. Transfers
+// run through the concurrent client (parallel layers, resumable chunked
+// uploads, cross-image blob dedup).
 package main
 
 import (
@@ -9,6 +15,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"comtainer/internal/core"
 	"comtainer/internal/core/adapter"
@@ -18,22 +25,37 @@ import (
 	"comtainer/internal/workloads"
 )
 
-func main() {
-	// Serve a registry on an ephemeral localhost port.
+// serve starts a disk-backed registry on an ephemeral localhost port,
+// returning its base URL and a shutdown function.
+func serve(dataDir string) (string, func(), error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := registry.NewServerAt(dataDir)
+	if err != nil {
+		ln.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+func main() {
+	dataDir, err := os.MkdirTemp("", "comtainer-registry-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := registry.NewServer()
-	go func() {
-		if err := http.Serve(ln, srv.Handler()); err != nil {
-			log.Print(err)
-		}
-	}()
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("registry listening at %s\n", base)
+	defer os.RemoveAll(dataDir)
 
-	// User side: build and push.
+	base, shutdown, err := serve(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry listening at %s, persisting under %s\n", base, dataDir)
+
+	// User side: build and push with the concurrent client.
 	user, err := core.NewUserSide(toolchain.ISAx86)
 	if err != nil {
 		log.Fatal(err)
@@ -47,13 +69,24 @@ func main() {
 		log.Fatal(err)
 	}
 	client := registry.NewClient(base)
+	client.Workers = 8
 	if err := client.Ping(); err != nil {
 		log.Fatal(err)
 	}
 	if err := client.Push(user.Repo, res.ExtendedTag, "user/hpcg", "v1"); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("pushed %s as user/hpcg:v1\n", res.ExtendedTag)
+	fmt.Printf("pushed %s as user/hpcg:v1 (8 parallel layer uploads)\n", res.ExtendedTag)
+
+	// Restart the registry over the same data directory: everything
+	// pushed must survive.
+	shutdown()
+	base, shutdown, err = serve(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer shutdown()
+	fmt.Printf("registry restarted at %s from persisted state\n", base)
 
 	// System side: pull over HTTP into its own store, then adapt and run.
 	sys := sysprofile.X86Cluster()
@@ -61,10 +94,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	client = registry.NewClient(base)
+	client.Workers = 8
 	if err := client.Pull(system.Repo, "user/hpcg", "v1", res.ExtendedTag); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("pulled user/hpcg:v1 on the %s system\n", sys.Name)
+	fmt.Printf("pulled user/hpcg:v1 on the %s system (parallel layer fetch)\n", sys.Name)
 	optTag, err := system.Adapt(res.DistTag, adapter.DefaultAdapted())
 	if err != nil {
 		log.Fatal(err)

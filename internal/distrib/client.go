@@ -1,0 +1,558 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/oci"
+)
+
+// Client is a concurrent distribution client: blob transfers fan out
+// over a bounded worker pool, in-flight fetches of the same digest are
+// deduplicated (singleflight), blobs the other side already holds are
+// skipped, and transient failures (5xx, network errors, short reads)
+// retry with exponential backoff.
+type Client struct {
+	// Base is the registry root, e.g. "http://127.0.0.1:5000".
+	Base string
+	// HTTP is the transport; defaults to http.DefaultClient.
+	HTTP *http.Client
+	// Workers bounds parallel blob transfers per image (default 4).
+	Workers int
+	// ChunkSize is the PATCH chunk size for uploads (default 1 MiB).
+	ChunkSize int64
+	// Retries is how many times a transient failure is retried (default 3).
+	Retries int
+	// RetryBackoff is the initial backoff, doubled per retry (default 25ms).
+	RetryBackoff time.Duration
+
+	flights flightGroup
+}
+
+// NewClient returns a client for the registry at base with default
+// concurrency and retry settings.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 4
+}
+
+func (c *Client) chunkSize() int64 {
+	if c.ChunkSize > 0 {
+		return c.ChunkSize
+	}
+	return 1 << 20
+}
+
+func (c *Client) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 3
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 25 * time.Millisecond
+}
+
+func (c *Client) url(parts ...string) string {
+	return c.Base + "/v2/" + strings.Join(parts, "/")
+}
+
+// httpStatusError is a non-2xx response; its code drives the
+// transient-vs-permanent retry decision.
+type httpStatusError struct {
+	Code   int
+	Status string
+	URL    string
+	Body   string
+}
+
+func (e *httpStatusError) Error() string {
+	msg := fmt.Sprintf("distrib: %s: status %s", e.URL, e.Status)
+	if e.Body != "" {
+		msg += ": " + strings.TrimSpace(e.Body)
+	}
+	return msg
+}
+
+// statusError drains and closes resp and returns an httpStatusError.
+func statusError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	return &httpStatusError{
+		Code:   resp.StatusCode,
+		Status: resp.Status,
+		URL:    resp.Request.URL.String(),
+		Body:   string(body),
+	}
+}
+
+// transient reports whether err is worth retrying: server-side errors
+// and transport/short-read failures are, client errors (4xx) are not.
+func transient(err error) bool {
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.Code >= 500 || he.Code == http.StatusTooManyRequests || he.Code == http.StatusRequestTimeout
+	}
+	return true
+}
+
+// withRetry runs fn, retrying transient failures with exponential
+// backoff up to c.Retries times.
+func (c *Client) withRetry(fn func() error) error {
+	backoff := c.backoff()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !transient(err) || attempt >= c.retries() {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// runPool runs tasks with at most c.Workers in flight and returns the
+// first error (all tasks are waited for either way).
+func (c *Client) runPool(tasks []func() error) error {
+	sem := make(chan struct{}, c.workers())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var first error
+	for _, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := task(); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}(task)
+	}
+	wg.Wait()
+	return first
+}
+
+// Ping checks the registry is alive.
+func (c *Client) Ping() error {
+	resp, err := c.httpClient().Get(c.Base + "/v2/")
+	if err != nil {
+		return fmt.Errorf("distrib: ping: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: ping: status %s", resp.Status)
+	}
+	return nil
+}
+
+// ListTags returns the sorted tags of repository name.
+func (c *Client) ListTags(name string) ([]string, error) {
+	resp, err := c.httpClient().Get(c.url(name, "tags", "list"))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Tags []string `json:"tags"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("distrib: decoding tags list: %w", err)
+	}
+	return out.Tags, nil
+}
+
+// HasBlob asks the registry (HEAD) whether it already holds blob d —
+// the cross-image dedup probe.
+func (c *Client) HasBlob(name string, d digest.Digest) (bool, error) {
+	req, err := http.NewRequest(http.MethodHead, c.url(name, "blobs", string(d)), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("distrib: HEAD blob %s: status %s", d.Short(), resp.Status)
+	}
+}
+
+// --- push side ---
+
+// startUpload opens an upload session and returns its absolute URL.
+func (c *Client) startUpload(name string) (string, error) {
+	resp, err := c.httpClient().Post(c.url(name, "blobs", "uploads")+"/", "", nil)
+	if err != nil {
+		return "", fmt.Errorf("distrib: starting upload: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", statusError(resp)
+	}
+	loc := resp.Header.Get("Location")
+	if loc == "" {
+		return "", fmt.Errorf("distrib: upload session has no Location")
+	}
+	if strings.HasPrefix(loc, "/") {
+		loc = c.Base + loc
+	}
+	return loc, nil
+}
+
+// uploadOffset queries a session for its committed offset.
+func (c *Client) uploadOffset(loc string) (int64, error) {
+	resp, err := c.httpClient().Get(loc)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return 0, statusError(resp)
+	}
+	return parseUploadRange(resp.Header.Get("Range"))
+}
+
+// parseUploadRange turns a session "Range: 0-<end>" header into the
+// next write offset. "0-0" means nothing received (the docker
+// convention for an empty session).
+func parseUploadRange(rng string) (int64, error) {
+	start, end, ok := strings.Cut(rng, "-")
+	if !ok || start != "0" {
+		return 0, fmt.Errorf("distrib: malformed upload range %q", rng)
+	}
+	n, err := strconv.ParseInt(end, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("distrib: malformed upload range %q", rng)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return n + 1, nil
+}
+
+// sendChunks PATCHes the remainder of blob d starting at offset.
+func (c *Client) sendChunks(loc string, src BlobSource, d digest.Digest, offset int64) error {
+	r, size, err := src.Open(d)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if offset > 0 {
+		if _, err := io.CopyN(io.Discard, r, offset); err != nil {
+			return fmt.Errorf("distrib: seeking to resume offset %d: %w", offset, err)
+		}
+	}
+	buf := make([]byte, c.chunkSize())
+	for offset < size {
+		n, err := io.ReadFull(r, buf)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			err = nil
+		}
+		if err != nil {
+			return fmt.Errorf("distrib: reading blob %s: %w", d.Short(), err)
+		}
+		if n == 0 {
+			break
+		}
+		req, err := http.NewRequest(http.MethodPatch, loc, bytes.NewReader(buf[:n]))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set("Content-Range", fmt.Sprintf("%d-%d", offset, offset+int64(n)-1))
+		req.ContentLength = int64(n)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("distrib: uploading chunk of %s: %w", d.Short(), err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return statusError(resp)
+		}
+		resp.Body.Close()
+		offset += int64(n)
+	}
+	return nil
+}
+
+// finalizeUpload PUTs the digest to close the session.
+func (c *Client) finalizeUpload(loc string, d digest.Digest) error {
+	sep := "?"
+	if strings.Contains(loc, "?") {
+		sep = "&"
+	}
+	req, err := http.NewRequest(http.MethodPut, loc+sep+"digest="+string(d), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("distrib: finalizing upload of %s: %w", d.Short(), err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return statusError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// PushBlob uploads blob d from src into repository name using the
+// chunked upload protocol. Blobs the registry already holds are
+// skipped. A transfer interrupted mid-PATCH resumes from the offset
+// the server reports rather than restarting.
+func (c *Client) PushBlob(name string, src BlobSource, d digest.Digest) error {
+	if ok, err := c.HasBlob(name, d); err == nil && ok {
+		return nil
+	}
+	return c.withRetry(func() error {
+		loc, err := c.startUpload(name)
+		if err != nil {
+			return err
+		}
+		backoff := c.backoff()
+		var offset int64
+		for attempt := 0; ; attempt++ {
+			err := c.sendChunks(loc, src, d, offset)
+			if err == nil {
+				return c.finalizeUpload(loc, d)
+			}
+			if !transient(err) || attempt >= c.retries() {
+				return err
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			// Resume from the server's committed offset; if the
+			// session itself is gone, surface the original error so
+			// the outer retry opens a fresh one.
+			off, oerr := c.uploadOffset(loc)
+			if oerr != nil {
+				return err
+			}
+			offset = off
+		}
+	})
+}
+
+// PushImage uploads the image (or manifest list) named by desc from
+// src as name:tag: every referenced blob first — in parallel — then
+// the manifest, so the registry never sees a manifest with dangling
+// references.
+func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string) error {
+	raw, err := ReadBlob(src, desc.Digest)
+	if err != nil {
+		return fmt.Errorf("distrib: loading manifest %s: %w", desc.Digest.Short(), err)
+	}
+	var refs manifestRefs
+	if err := json.Unmarshal(raw, &refs); err != nil {
+		return fmt.Errorf("distrib: decoding manifest %s: %w", desc.Digest.Short(), err)
+	}
+	if len(refs.Manifests) > 0 {
+		// Manifest list: push each platform image by digest first.
+		for _, child := range refs.Manifests {
+			if err := c.PushImage(src, child, name, string(child.Digest)); err != nil {
+				return err
+			}
+		}
+	} else {
+		var blobs []oci.Descriptor
+		if refs.Config != nil && refs.Config.Digest != "" {
+			blobs = append(blobs, *refs.Config)
+		}
+		blobs = append(blobs, refs.Layers...)
+		// Fail fast if the source is missing a referenced blob: the
+		// registry would reject the manifest anyway.
+		for _, bd := range blobs {
+			if !src.Has(bd.Digest) {
+				return fmt.Errorf("distrib: source is missing referenced blob %s", bd.Digest)
+			}
+		}
+		tasks := make([]func() error, len(blobs))
+		for i, bd := range blobs {
+			bd := bd
+			tasks[i] = func() error { return c.PushBlob(name, src, bd.Digest) }
+		}
+		if err := c.runPool(tasks); err != nil {
+			return err
+		}
+	}
+	mediaType := desc.MediaType
+	if mediaType == "" {
+		mediaType = oci.MediaTypeManifest
+		if len(refs.Manifests) > 0 {
+			mediaType = oci.MediaTypeIndex
+		}
+	}
+	return c.withRetry(func() error {
+		req, err := http.NewRequest(http.MethodPut, c.url(name, "manifests", tag), bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", mediaType)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("distrib: pushing manifest: %w", err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			return statusError(resp)
+		}
+		resp.Body.Close()
+		return nil
+	})
+}
+
+// --- pull side ---
+
+// FetchManifest retrieves the manifest (or index) at name:ref and
+// returns its bytes, digest and media type. The digest is verified
+// against the Docker-Content-Digest header and, for digest refs, the
+// ref itself.
+func (c *Client) FetchManifest(name, ref string) ([]byte, digest.Digest, string, error) {
+	var body []byte
+	var mediaType string
+	err := c.withRetry(func() error {
+		req, err := http.NewRequest(http.MethodGet, c.url(name, "manifests", ref), nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", oci.MediaTypeManifest+", "+oci.MediaTypeIndex)
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return fmt.Errorf("distrib: fetching manifest %s:%s: %w", name, ref, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return statusError(resp)
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return fmt.Errorf("distrib: reading manifest: %w", err)
+		}
+		mediaType = resp.Header.Get("Content-Type")
+		if hd := resp.Header.Get("Docker-Content-Digest"); hd != "" && hd != string(digest.FromBytes(body)) {
+			return fmt.Errorf("distrib: manifest digest mismatch: header %s, content %s", hd, digest.FromBytes(body))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, "", "", err
+	}
+	d := digest.FromBytes(body)
+	if want, perr := digest.Parse(ref); perr == nil && want != d {
+		return nil, "", "", fmt.Errorf("distrib: manifest %s served wrong content %s", want.Short(), d.Short())
+	}
+	return body, d, mediaType, nil
+}
+
+// fetchBlob downloads blob rd from repository name into dst,
+// verifying the digest as it streams. Concurrent fetches of the same
+// digest collapse into one transfer.
+func (c *Client) fetchBlob(dst Store, name string, d digest.Digest) error {
+	return c.flights.do(d, func() error {
+		if dst.Has(d) {
+			return nil
+		}
+		return c.withRetry(func() error {
+			resp, err := c.httpClient().Get(c.url(name, "blobs", string(d)))
+			if err != nil {
+				return fmt.Errorf("distrib: fetching blob %s: %w", d.Short(), err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				return statusError(resp)
+			}
+			defer resp.Body.Close()
+			// Ingest verifies the digest; a short read or corrupt body
+			// fails verification and is retried.
+			if _, _, err := dst.Ingest(io.LimitReader(resp.Body, 1<<30), d); err != nil {
+				return fmt.Errorf("distrib: ingesting blob %s: %w", d.Short(), err)
+			}
+			return nil
+		})
+	})
+}
+
+// PullImage downloads name:ref (tag or digest; image or manifest
+// list) into dst, fetching missing blobs in parallel and skipping
+// blobs dst already holds. Returns the manifest descriptor.
+func (c *Client) PullImage(dst Store, name, ref string) (oci.Descriptor, error) {
+	body, d, mediaType, err := c.FetchManifest(name, ref)
+	if err != nil {
+		return oci.Descriptor{}, err
+	}
+	var refs manifestRefs
+	if err := json.Unmarshal(body, &refs); err != nil {
+		return oci.Descriptor{}, fmt.Errorf("distrib: decoding manifest %s: %w", d.Short(), err)
+	}
+	if len(refs.Manifests) > 0 {
+		for _, child := range refs.Manifests {
+			if _, err := c.PullImage(dst, name, string(child.Digest)); err != nil {
+				return oci.Descriptor{}, err
+			}
+		}
+	} else {
+		var blobs []oci.Descriptor
+		if refs.Config != nil && refs.Config.Digest != "" {
+			blobs = append(blobs, *refs.Config)
+		}
+		blobs = append(blobs, refs.Layers...)
+		tasks := make([]func() error, 0, len(blobs))
+		for _, bd := range blobs {
+			if dst.Has(bd.Digest) {
+				continue // cross-image layer dedup: already local
+			}
+			bd := bd
+			tasks = append(tasks, func() error { return c.fetchBlob(dst, name, bd.Digest) })
+		}
+		if err := c.runPool(tasks); err != nil {
+			return oci.Descriptor{}, err
+		}
+	}
+	if _, _, err := dst.Ingest(bytes.NewReader(body), d); err != nil {
+		return oci.Descriptor{}, fmt.Errorf("distrib: storing manifest: %w", err)
+	}
+	if mediaType == "" {
+		mediaType = oci.MediaTypeManifest
+		if len(refs.Manifests) > 0 {
+			mediaType = oci.MediaTypeIndex
+		}
+	}
+	return oci.Descriptor{MediaType: mediaType, Digest: d, Size: int64(len(body))}, nil
+}

@@ -1,0 +1,415 @@
+package distrib_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/distrib"
+	"comtainer/internal/fsim"
+	"comtainer/internal/oci"
+	"comtainer/internal/registry"
+)
+
+// fastClient returns a client with short backoff so retry tests stay
+// quick.
+func fastClient(base string) *distrib.Client {
+	c := distrib.NewClient(base)
+	c.RetryBackoff = time.Millisecond
+	return c
+}
+
+// buildTestImage writes an image with the given layer payloads and
+// returns its manifest descriptor.
+func buildTestImage(t *testing.T, s *oci.Store, payloads ...string) oci.Descriptor {
+	t.Helper()
+	var layers []*fsim.FS
+	for i, p := range payloads {
+		l := fsim.New()
+		l.WriteFile(fmt.Sprintf("/data/l%d", i), []byte(p), 0o644)
+		layers = append(layers, l)
+	}
+	desc, err := oci.WriteImage(s, oci.ImageConfig{Architecture: "amd64", OS: "linux"}, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return desc
+}
+
+// countingHandler counts blob GETs and upload POSTs by URL shape.
+type countingHandler struct {
+	inner    http.Handler
+	blobGets atomic.Int64
+	uploads  atomic.Int64
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.URL.Path, "/blobs/") {
+		switch {
+		case r.Method == http.MethodGet && !strings.Contains(r.URL.Path, "/uploads"):
+			h.blobGets.Add(1)
+		case r.Method == http.MethodPost:
+			h.uploads.Add(1)
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestClientPushPullRoundTrip(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "alpha", "beta", "gamma")
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, desc, "team/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := oci.NewStore()
+	got, err := c.PullImage(dst, "team/app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != desc.Digest {
+		t.Errorf("pulled digest %s, want %s", got.Digest.Short(), desc.Digest.Short())
+	}
+	for _, d := range src.Digests() {
+		if !dst.Has(d) {
+			t.Errorf("blob %s missing after pull", d.Short())
+		}
+	}
+}
+
+// TestPushDedupSkipsExistingBlobs pushes two tags of the same image:
+// the second push must open zero upload sessions — every blob is
+// already on the registry and the HEAD probe skips it.
+func TestPushDedupSkipsExistingBlobs(t *testing.T) {
+	srv := registry.NewServer()
+	counter := &countingHandler{inner: srv.Handler()}
+	ts := httptest.NewServer(counter)
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "one", "two")
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, desc, "team/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	first := counter.uploads.Load()
+	if first == 0 {
+		t.Fatal("first push uploaded nothing")
+	}
+	// Same blobs, different repository: the content-addressed store is
+	// shared, so nothing re-uploads.
+	if err := c.PushImage(src, desc, "other/copy", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if counter.uploads.Load() != first {
+		t.Errorf("second push opened %d new upload sessions, want 0", counter.uploads.Load()-first)
+	}
+}
+
+// TestPullTransfersOnlyMissingBlobs pulls a base image, then an
+// extended image sharing its layers: only the new blobs may travel.
+func TestPullTransfersOnlyMissingBlobs(t *testing.T) {
+	srv := registry.NewServer()
+	counter := &countingHandler{inner: srv.Handler()}
+	ts := httptest.NewServer(counter)
+	defer ts.Close()
+
+	src := oci.NewStore()
+	base := buildTestImage(t, src, "shared-1", "shared-2", "shared-3")
+	extended, err := oci.AppendLayer(src, base, fsim.New(), "comtainer.cache", "extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, base, "app", "base"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PushImage(src, extended, "app", "extended"); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := oci.NewStore()
+	if _, err := c.PullImage(dst, "app", "base"); err != nil {
+		t.Fatal(err)
+	}
+	before := counter.blobGets.Load()
+	if _, err := c.PullImage(dst, "app", "extended"); err != nil {
+		t.Fatal(err)
+	}
+	fetched := counter.blobGets.Load() - before
+	// The extended image shares every base layer; only its new layer
+	// and new config may be fetched.
+	if fetched > 2 {
+		t.Errorf("extended pull fetched %d blobs, want <= 2 (base layers are local)", fetched)
+	}
+	if _, err := oci.LoadImage(dst, extended); err != nil {
+		t.Errorf("extended image incomplete after dedup pull: %v", err)
+	}
+}
+
+// TestConcurrentPullSingleflight has many goroutines pull the same
+// image through one client into one store: in-flight dedup must
+// collapse the fetches to one per blob.
+func TestConcurrentPullSingleflight(t *testing.T) {
+	srv := registry.NewServer()
+	counter := &countingHandler{inner: srv.Handler()}
+	ts := httptest.NewServer(counter)
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "l1", "l2", "l3", "l4")
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	counter.blobGets.Store(0)
+
+	dst := oci.NewStore()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.PullImage(dst, "app", "v1"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// 4 layers + 1 config; the manifest travels via /manifests/.
+	if got := counter.blobGets.Load(); got > 5 {
+		t.Errorf("16 concurrent pulls performed %d blob GETs, want <= 5 (singleflight)", got)
+	}
+	for _, d := range src.Digests() {
+		if !dst.Has(d) {
+			t.Errorf("blob %s missing", d.Short())
+		}
+	}
+}
+
+// flakyHandler injects transient failures: the first failN blob GETs
+// return 503, and the next shortN responses truncate mid-body.
+type flakyHandler struct {
+	inner  http.Handler
+	mu     sync.Mutex
+	failN  int
+	shortN int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet && strings.Contains(r.URL.Path, "/blobs/") && !strings.Contains(r.URL.Path, "/uploads") {
+		h.mu.Lock()
+		if h.failN > 0 {
+			h.failN--
+			h.mu.Unlock()
+			http.Error(w, "injected transient failure", http.StatusServiceUnavailable)
+			return
+		}
+		if h.shortN > 0 {
+			h.shortN--
+			h.mu.Unlock()
+			// Declare more bytes than are sent: the client sees a
+			// short read and must retry.
+			w.Header().Set("Content-Length", "1024")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("truncated"))
+			return
+		}
+		h.mu.Unlock()
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func TestPullRetriesTransientFailures(t *testing.T) {
+	srv := registry.NewServer()
+	flaky := &flakyHandler{inner: srv.Handler(), failN: 3, shortN: 2}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "r1", "r2", "r3")
+	c := fastClient(ts.URL)
+	c.Retries = 6
+	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := oci.NewStore()
+	if _, err := c.PullImage(dst, "app", "v1"); err != nil {
+		t.Fatalf("pull did not survive injected 503s and short reads: %v", err)
+	}
+	for _, d := range src.Digests() {
+		if !dst.Has(d) {
+			t.Errorf("blob %s missing", d.Short())
+		}
+	}
+}
+
+func TestPullPermanentFailureFast(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	start := time.Now()
+	if _, err := c.PullImage(oci.NewStore(), "ghost", "v1"); err == nil {
+		t.Fatal("pulled a nonexistent image")
+	}
+	// 404 is permanent: no retry/backoff spiral.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("permanent failure took %v — was it retried?", elapsed)
+	}
+}
+
+// TestPushManifestList publishes a multi-arch index and pulls it back,
+// covering the recursive index path.
+func TestPushManifestList(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	src := oci.NewStore()
+	amd := buildTestImage(t, src, "amd-layer")
+	arm := buildTestImage(t, src, "arm-layer")
+	amd.Platform = &oci.Platform{Architecture: "amd64", OS: "linux"}
+	arm.Platform = &oci.Platform{Architecture: "arm64", OS: "linux"}
+	list, err := oci.WriteManifestList(src, []oci.Descriptor{amd, arm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, list, "multi/app", "latest"); err != nil {
+		t.Fatal(err)
+	}
+	dst := oci.NewStore()
+	got, err := c.PullImage(dst, "multi/app", "latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != list.Digest {
+		t.Errorf("pulled index digest %s, want %s", got.Digest.Short(), list.Digest.Short())
+	}
+	resolved, err := oci.ResolvePlatform(dst, got, "arm64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oci.LoadImage(dst, resolved); err != nil {
+		t.Errorf("arm64 member image incomplete: %v", err)
+	}
+}
+
+// TestPushRefusesDanglingManifest checks the client-side existence
+// check: a manifest whose blobs are missing from the source fails fast
+// and nothing reaches the registry.
+func TestPushRefusesDanglingManifest(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "doomed")
+	m, err := oci.LoadManifest(src, desc.Digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Delete(m.Layers[0].Digest); err != nil {
+		t.Fatal(err)
+	}
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, desc, "app", "v1"); err == nil {
+		t.Fatal("pushed an image with a missing layer")
+	}
+	if len(srv.Tags()) != 0 {
+		t.Error("dangling manifest was tagged on the registry")
+	}
+}
+
+// TestChunkedPushLargeBlob forces multi-chunk PATCH uploads.
+func TestChunkedPushLargeBlob(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload := strings.Repeat("big layer content ", 4096) // ~72 KiB
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, payload)
+	c := fastClient(ts.URL)
+	c.ChunkSize = 8 << 10 // 8 KiB chunks → many PATCHes
+	if err := c.PushImage(src, desc, "big/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := oci.NewStore()
+	if _, err := c.PullImage(dst, "big/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range src.Digests() {
+		if !dst.Has(d) {
+			t.Fatalf("blob %s did not survive chunked upload", d.Short())
+		}
+	}
+}
+
+// TestPushBlobStandalone covers PushBlob + HasBlob directly.
+func TestPushBlobStandalone(t *testing.T) {
+	srv := registry.NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	src := oci.NewStore()
+	d := src.Put([]byte("standalone blob"))
+	c := fastClient(ts.URL)
+	if ok, err := c.HasBlob("solo", d); err != nil || ok {
+		t.Fatalf("HasBlob before push = %v, %v", ok, err)
+	}
+	if err := c.PushBlob("solo", src, d); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := c.HasBlob("solo", d); err != nil || !ok {
+		t.Fatalf("HasBlob after push = %v, %v", ok, err)
+	}
+}
+
+// TestPullVerifiesManifestDigest ensures a digest-addressed pull whose
+// served content does not hash to the requested digest is rejected —
+// simulated by a man-in-the-middle that swaps the manifest body.
+func TestPullVerifiesManifestDigest(t *testing.T) {
+	srv := registry.NewServer()
+	tamper := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.Contains(r.URL.Path, "/manifests/") {
+			w.Header().Set("Content-Type", oci.MediaTypeManifest)
+			_, _ = w.Write([]byte(`{"schemaVersion":2,"layers":[]}`))
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(tamper)
+	defer ts.Close()
+
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "x")
+	c := fastClient(ts.URL)
+	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PullImage(oci.NewStore(), "app", string(desc.Digest)); err == nil {
+		t.Fatal("pull accepted a manifest that does not hash to the requested digest")
+	}
+	// An absent digest must also fail (404, no retry storm).
+	bogus := digest.FromString("not the manifest")
+	if _, err := c.PullImage(oci.NewStore(), "app", string(bogus)); err == nil {
+		t.Fatal("pull by unknown digest succeeded")
+	}
+}

@@ -1,0 +1,79 @@
+// Package distrib is the image-distribution substrate beneath
+// internal/registry — the production-shaped half of the repository hop
+// ("images are then distributed via repositories", paper §1).
+//
+// It provides:
+//
+//   - BlobSource/BlobSink/Store: streaming content-addressed blob
+//     interfaces that both the in-memory oci.Store and the disk-backed
+//     DiskStore satisfy, so a registry can mount either.
+//   - DiskStore: a persistent, sharded (blobs/sha256/ab/abcd…),
+//     digest-verified blob store with atomic temp-file+rename writes.
+//   - TagStore: the tag → manifest-descriptor mapping, in memory or
+//     persisted per-ref on disk.
+//   - UploadManager: server-side resumable upload sessions backing the
+//     OCI distribution push protocol (POST/PATCH/PUT).
+//   - Client: a concurrent pull/push client with a bounded worker pool,
+//     singleflight dedup of in-flight fetches, cross-image blob dedup,
+//     and retry-with-backoff on transient failures.
+//   - GC: reference-counting garbage collection over tagged manifests
+//     and manifest lists.
+package distrib
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"comtainer/internal/digest"
+)
+
+// BlobSource is the read side of a content-addressed blob store. Open
+// streams blob content so large layers never need to be fully resident.
+type BlobSource interface {
+	// Has reports whether the store holds blob d.
+	Has(d digest.Digest) bool
+	// Open returns a reader over blob d and the blob's size.
+	Open(d digest.Digest) (io.ReadCloser, int64, error)
+	// Digests returns the sorted digests of every stored blob.
+	Digests() []digest.Digest
+}
+
+// BlobSink is the write side of a content-addressed blob store.
+type BlobSink interface {
+	// Ingest streams r into the store. If want is non-empty the content
+	// must hash to it; otherwise the computed digest is used. Returns
+	// the digest and size of the stored blob.
+	Ingest(r io.Reader, want digest.Digest) (digest.Digest, int64, error)
+}
+
+// Store is a full blob store: readable, writable, collectable.
+type Store interface {
+	BlobSource
+	BlobSink
+	// Delete removes blob d. Deleting an absent blob is not an error.
+	Delete(d digest.Digest) error
+}
+
+// ReadBlob buffers the whole content of blob d — a convenience for
+// small blobs (manifests, configs) where streaming buys nothing.
+func ReadBlob(src BlobSource, d digest.Digest) ([]byte, error) {
+	r, n, err := src.Open(d)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	buf := make([]byte, 0, n)
+	b := bytes.NewBuffer(buf)
+	if _, err := io.Copy(b, r); err != nil {
+		return nil, fmt.Errorf("distrib: reading blob %s: %w", d.Short(), err)
+	}
+	return b.Bytes(), nil
+}
+
+// WriteBlob stores b and returns its digest — the buffered counterpart
+// of Ingest.
+func WriteBlob(sink BlobSink, b []byte) (digest.Digest, error) {
+	d, _, err := sink.Ingest(bytes.NewReader(b), "")
+	return d, err
+}

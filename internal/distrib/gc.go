@@ -1,0 +1,72 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/oci"
+)
+
+// manifestRefs is the union shape of an image manifest and an image
+// index: whichever fields are present name the blobs the document
+// keeps alive.
+type manifestRefs struct {
+	Config    *oci.Descriptor  `json:"config"`
+	Layers    []oci.Descriptor `json:"layers"`
+	Manifests []oci.Descriptor `json:"manifests"`
+}
+
+// GC deletes every blob not reachable from roots — the tagged
+// manifests and manifest lists of a registry. Reachability follows
+// index → manifest → config/layer edges recursively. It refuses to run
+// (and deletes nothing) if any root or intermediate manifest is
+// missing or undecodable, so a partially-visible tree can never cause
+// reachable blobs to be collected. Returns the number of blobs
+// deleted.
+func GC(s Store, roots []oci.Descriptor) (int, error) {
+	reachable := map[digest.Digest]bool{}
+	var walk func(d digest.Digest) error
+	walk = func(d digest.Digest) error {
+		if reachable[d] {
+			return nil
+		}
+		reachable[d] = true
+		b, err := ReadBlob(s, d)
+		if err != nil {
+			return fmt.Errorf("distrib: gc: reading manifest %s: %w", d.Short(), err)
+		}
+		var refs manifestRefs
+		if err := json.Unmarshal(b, &refs); err != nil {
+			return fmt.Errorf("distrib: gc: decoding manifest %s: %w", d.Short(), err)
+		}
+		if refs.Config != nil && refs.Config.Digest != "" {
+			reachable[refs.Config.Digest] = true
+		}
+		for _, l := range refs.Layers {
+			reachable[l.Digest] = true
+		}
+		for _, m := range refs.Manifests {
+			if err := walk(m.Digest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range roots {
+		if err := walk(root.Digest); err != nil {
+			return 0, err
+		}
+	}
+	dropped := 0
+	for _, d := range s.Digests() {
+		if reachable[d] {
+			continue
+		}
+		if err := s.Delete(d); err != nil {
+			return dropped, err
+		}
+		dropped++
+	}
+	return dropped, nil
+}

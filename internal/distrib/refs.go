@@ -1,0 +1,192 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"comtainer/internal/oci"
+)
+
+// TagStore maps repository-qualified tags ("user/app" + "v1") to
+// manifest descriptors — the mutable half of a registry, next to the
+// immutable blob store.
+type TagStore interface {
+	// Resolve returns the descriptor tagged name:tag.
+	Resolve(name, tag string) (oci.Descriptor, bool)
+	// Set records desc under name:tag, replacing any previous mapping.
+	Set(name, tag string, desc oci.Descriptor) error
+	// Tags returns the sorted tags of repository name.
+	Tags(name string) []string
+	// All returns every known "name:tag" key with its descriptor.
+	All() map[string]oci.Descriptor
+}
+
+// MemTags is an in-memory TagStore.
+type MemTags struct {
+	mu sync.RWMutex
+	m  map[string]oci.Descriptor
+}
+
+// NewMemTags returns an empty in-memory tag store.
+func NewMemTags() *MemTags {
+	return &MemTags{m: make(map[string]oci.Descriptor)}
+}
+
+// Resolve returns the descriptor tagged name:tag.
+func (t *MemTags) Resolve(name, tag string) (oci.Descriptor, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.m[name+":"+tag]
+	return d, ok
+}
+
+// Set records desc under name:tag.
+func (t *MemTags) Set(name, tag string, desc oci.Descriptor) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[name+":"+tag] = desc
+	return nil
+}
+
+// Tags returns the sorted tags of repository name.
+func (t *MemTags) Tags(name string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return tagsOf(t.m, name)
+}
+
+// All returns a copy of every tag mapping.
+func (t *MemTags) All() map[string]oci.Descriptor {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]oci.Descriptor, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	return out
+}
+
+// DiskTags is a TagStore persisted one file per reference under
+// <root>/refs/, written atomically (temp+rename) so a crash never
+// leaves a torn descriptor. The full map is kept in memory and written
+// through.
+type DiskTags struct {
+	root string
+	mu   sync.RWMutex
+	m    map[string]oci.Descriptor
+}
+
+// NewDiskTags opens (creating if needed) the tag store under dir and
+// loads every persisted reference.
+func NewDiskTags(dir string) (*DiskTags, error) {
+	t := &DiskTags{root: filepath.Join(dir, "refs"), m: make(map[string]oci.Descriptor)}
+	if err := os.MkdirAll(t.root, 0o755); err != nil {
+		return nil, fmt.Errorf("distrib: creating refs dir: %w", err)
+	}
+	entries, err := os.ReadDir(t.root)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: reading refs dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		key, err := url.PathUnescape(strings.TrimSuffix(e.Name(), ".json"))
+		if err != nil {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(t.root, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("distrib: reading ref %s: %w", key, err)
+		}
+		var desc oci.Descriptor
+		if err := json.Unmarshal(b, &desc); err != nil {
+			return nil, fmt.Errorf("distrib: decoding ref %s: %w", key, err)
+		}
+		t.m[key] = desc
+	}
+	return t, nil
+}
+
+// refFile returns the on-disk file of a "name:tag" key. PathEscape
+// keeps slash-bearing repository names inside one flat directory.
+func (t *DiskTags) refFile(key string) string {
+	return filepath.Join(t.root, url.PathEscape(key)+".json")
+}
+
+// Resolve returns the descriptor tagged name:tag.
+func (t *DiskTags) Resolve(name, tag string) (oci.Descriptor, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d, ok := t.m[name+":"+tag]
+	return d, ok
+}
+
+// Set records desc under name:tag and persists it atomically.
+func (t *DiskTags) Set(name, tag string, desc oci.Descriptor) error {
+	b, err := json.Marshal(desc)
+	if err != nil {
+		return fmt.Errorf("distrib: encoding ref: %w", err)
+	}
+	key := name + ":" + tag
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tmp, err := os.CreateTemp(t.root, "ref-*")
+	if err != nil {
+		return fmt.Errorf("distrib: writing ref: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("distrib: writing ref: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("distrib: writing ref: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), t.refFile(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("distrib: committing ref %s: %w", key, err)
+	}
+	t.m[key] = desc
+	return nil
+}
+
+// Tags returns the sorted tags of repository name.
+func (t *DiskTags) Tags(name string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return tagsOf(t.m, name)
+}
+
+// All returns a copy of every tag mapping.
+func (t *DiskTags) All() map[string]oci.Descriptor {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]oci.Descriptor, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	return out
+}
+
+// tagsOf extracts the sorted tags of one repository from a key map.
+// The tag is everything after the last colon, so repository names may
+// not contain colons (OCI names cannot).
+func tagsOf(m map[string]oci.Descriptor, name string) []string {
+	var tags []string
+	for k := range m {
+		i := strings.LastIndex(k, ":")
+		if i >= 0 && k[:i] == name {
+			tags = append(tags, k[i+1:])
+		}
+	}
+	sort.Strings(tags)
+	return tags
+}

@@ -1,0 +1,47 @@
+package distrib
+
+import (
+	"sync"
+
+	"comtainer/internal/digest"
+)
+
+// flightGroup deduplicates concurrent work keyed by blob digest: when
+// several goroutines ask for the same in-flight blob, one fetches and
+// the rest wait for its result — the classic singleflight pattern,
+// specialized to digests so a shared pull of one image never fetches a
+// layer twice.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[digest.Digest]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	err  error
+}
+
+// do runs fn for key, unless a call for key is already in flight, in
+// which case it waits for that call and returns its error.
+func (g *flightGroup) do(key digest.Digest, fn func() error) error {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[digest.Digest]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.err
+}

@@ -1,0 +1,171 @@
+package distrib
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"comtainer/internal/digest"
+)
+
+// ErrRangeMismatch reports a chunk whose starting offset does not line
+// up with the bytes already received — the signal a resuming client
+// uses (HTTP 416) to re-query the committed offset and retry from
+// there.
+var ErrRangeMismatch = errors.New("distrib: upload range mismatch")
+
+// ErrUploadClosed reports an upload that was already committed or
+// cancelled.
+var ErrUploadClosed = errors.New("distrib: upload closed")
+
+// UploadManager tracks in-progress blob upload sessions for a registry
+// server. Sessions spool to files under a directory when one is given
+// (persistent stores) or to memory buffers otherwise.
+type UploadManager struct {
+	spoolDir string
+	mu       sync.Mutex
+	sessions map[string]*Upload
+}
+
+// NewUploadManager returns a manager spooling sessions under spoolDir,
+// or in memory when spoolDir is empty.
+func NewUploadManager(spoolDir string) *UploadManager {
+	return &UploadManager{spoolDir: spoolDir, sessions: make(map[string]*Upload)}
+}
+
+// Upload is one resumable blob upload session.
+type Upload struct {
+	// ID is the session identifier carried in upload URLs.
+	ID string
+	// Name is the repository the upload was opened against.
+	Name string
+
+	mu     sync.Mutex
+	size   int64
+	file   *os.File // spool file, nil when buffering in memory
+	buf    bytes.Buffer
+	closed bool
+}
+
+// Start opens a new upload session for repository name.
+func (m *UploadManager) Start(name string) (*Upload, error) {
+	idBytes := make([]byte, 16)
+	if _, err := rand.Read(idBytes); err != nil {
+		return nil, fmt.Errorf("distrib: generating upload id: %w", err)
+	}
+	u := &Upload{ID: hex.EncodeToString(idBytes), Name: name}
+	if m.spoolDir != "" {
+		if err := os.MkdirAll(m.spoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("distrib: creating spool dir: %w", err)
+		}
+		f, err := os.Create(filepath.Join(m.spoolDir, "upload-"+u.ID))
+		if err != nil {
+			return nil, fmt.Errorf("distrib: creating spool file: %w", err)
+		}
+		u.file = f
+	}
+	m.mu.Lock()
+	m.sessions[u.ID] = u
+	m.mu.Unlock()
+	return u, nil
+}
+
+// Get returns the session with the given id.
+func (m *UploadManager) Get(id string) (*Upload, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u, ok := m.sessions[id]
+	return u, ok
+}
+
+// drop forgets the session and removes its spool file.
+func (m *UploadManager) drop(u *Upload) {
+	m.mu.Lock()
+	delete(m.sessions, u.ID)
+	m.mu.Unlock()
+	if u.file != nil {
+		name := u.file.Name()
+		u.file.Close()
+		os.Remove(name)
+	}
+}
+
+// Size returns the number of bytes received so far.
+func (u *Upload) Size() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.size
+}
+
+// Append receives one chunk. When expectStart >= 0 it must equal the
+// bytes already received, otherwise ErrRangeMismatch is returned and
+// nothing is consumed from r; pass -1 to append unconditionally.
+// Returns the total size after the append.
+func (u *Upload) Append(r io.Reader, expectStart int64) (int64, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed {
+		return u.size, ErrUploadClosed
+	}
+	if expectStart >= 0 && expectStart != u.size {
+		return u.size, fmt.Errorf("%w: chunk starts at %d, upload is at %d", ErrRangeMismatch, expectStart, u.size)
+	}
+	var w io.Writer = &u.buf
+	if u.file != nil {
+		w = u.file
+	}
+	n, err := io.Copy(w, r)
+	u.size += n
+	if err != nil {
+		return u.size, fmt.Errorf("distrib: receiving chunk: %w", err)
+	}
+	return u.size, nil
+}
+
+// Commit finalizes the upload into sink, verifying against want (which
+// must be non-empty). On success the session ends; a failed commit
+// leaves the session open so a client can inspect the offset, correct
+// and retry.
+func (m *UploadManager) Commit(u *Upload, sink BlobSink, want digest.Digest) (digest.Digest, int64, error) {
+	if err := want.Validate(); err != nil {
+		return "", 0, err
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return "", 0, ErrUploadClosed
+	}
+	var content io.Reader
+	if u.file != nil {
+		if _, err := u.file.Seek(0, io.SeekStart); err != nil {
+			u.mu.Unlock()
+			return "", 0, fmt.Errorf("distrib: rewinding spool: %w", err)
+		}
+		content = u.file
+	} else {
+		content = bytes.NewReader(u.buf.Bytes())
+	}
+	d, n, err := sink.Ingest(content, want)
+	if err != nil {
+		u.mu.Unlock()
+		return "", 0, err
+	}
+	u.closed = true
+	u.mu.Unlock()
+	m.drop(u)
+	return d, n, nil
+}
+
+// Cancel aborts the session and discards received bytes.
+func (m *UploadManager) Cancel(u *Upload) {
+	u.mu.Lock()
+	u.closed = true
+	u.mu.Unlock()
+	m.drop(u)
+}

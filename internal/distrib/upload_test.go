@@ -1,0 +1,103 @@
+package distrib
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/oci"
+)
+
+func TestUploadChunkedCommit(t *testing.T) {
+	for _, spool := range []string{"", t.TempDir()} {
+		m := NewUploadManager(spool)
+		u, err := m.Start("user/app")
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := "first-chunk|second-chunk|third"
+		var off int64
+		for _, chunk := range []string{"first-chunk|", "second-chunk|", "third"} {
+			size, err := u.Append(strings.NewReader(chunk), off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off = size
+		}
+		want := digest.FromString(content)
+		sink := oci.NewStore()
+		d, n, err := m.Commit(u, sink, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != want || n != int64(len(content)) {
+			t.Errorf("commit = %s/%d, want %s/%d", d.Short(), n, want.Short(), len(content))
+		}
+		if !sink.Has(want) {
+			t.Error("committed blob not in sink")
+		}
+		if _, ok := m.Get(u.ID); ok {
+			t.Error("session survives commit")
+		}
+	}
+}
+
+func TestUploadRangeMismatch(t *testing.T) {
+	m := NewUploadManager("")
+	u, err := m.Start("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Append(strings.NewReader("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A chunk claiming the wrong start offset is rejected...
+	if _, err := u.Append(strings.NewReader("XYZ"), 4); !errors.Is(err, ErrRangeMismatch) {
+		t.Fatalf("mis-aligned chunk error = %v, want ErrRangeMismatch", err)
+	}
+	// ...without consuming anything, so a correctly-aligned retry works.
+	if size, err := u.Append(strings.NewReader("abc"), 10); err != nil || size != 13 {
+		t.Fatalf("aligned retry = %d, %v", size, err)
+	}
+}
+
+func TestUploadCommitVerifies(t *testing.T) {
+	m := NewUploadManager("")
+	u, err := m.Start("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Append(strings.NewReader("actual content"), -1); err != nil {
+		t.Fatal(err)
+	}
+	sink := oci.NewStore()
+	if _, _, err := m.Commit(u, sink, digest.FromString("declared content")); err == nil {
+		t.Fatal("commit accepted a digest mismatch")
+	}
+	if sink.Len() != 0 {
+		t.Error("mismatched blob reached the sink")
+	}
+	// Failed commits leave the session open for a retry.
+	if _, ok := m.Get(u.ID); !ok {
+		t.Error("session dropped by failed commit")
+	}
+}
+
+func TestUploadCancel(t *testing.T) {
+	m := NewUploadManager(t.TempDir())
+	u, err := m.Start("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Append(strings.NewReader("bytes"), -1); err != nil {
+		t.Fatal(err)
+	}
+	m.Cancel(u)
+	if _, ok := m.Get(u.ID); ok {
+		t.Error("session survives cancel")
+	}
+	if _, err := u.Append(strings.NewReader("more"), -1); !errors.Is(err, ErrUploadClosed) {
+		t.Errorf("append after cancel = %v, want ErrUploadClosed", err)
+	}
+}

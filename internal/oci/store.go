@@ -1,9 +1,11 @@
 package oci
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -56,6 +58,41 @@ func (s *Store) Get(d digest.Digest) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s", ErrBlobNotFound, d)
 	}
 	return b, nil
+}
+
+// Open returns a streaming reader over blob d plus its size — the
+// distrib.BlobSource read side. The returned reader sees a stable
+// snapshot of the blob.
+func (s *Store) Open(d digest.Digest) (io.ReadCloser, int64, error) {
+	b, err := s.Get(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	return io.NopCloser(bytes.NewReader(b)), int64(len(b)), nil
+}
+
+// Ingest consumes r into the store — the distrib.BlobSink write side.
+// If want is non-empty the content must hash to it.
+func (s *Store) Ingest(r io.Reader, want digest.Digest) (digest.Digest, int64, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return "", 0, fmt.Errorf("oci: ingesting blob: %w", err)
+	}
+	if want != "" {
+		if err := s.PutVerified(b, want); err != nil {
+			return "", 0, err
+		}
+		return want, int64(len(b)), nil
+	}
+	return s.Put(b), int64(len(b)), nil
+}
+
+// Delete removes blob d. Deleting an absent blob is not an error.
+func (s *Store) Delete(d digest.Digest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, d)
+	return nil
 }
 
 // Has reports whether the store holds blob d.

@@ -1,8 +1,11 @@
-// Package registry implements a minimal OCI distribution registry over
-// HTTP (stdlib only) plus a push/pull client — the repository hop of the
+// Package registry implements an OCI distribution registry over HTTP
+// (stdlib only) plus a push/pull client — the repository hop of the
 // coMtainer workflow ("images are then distributed via repositories",
-// paper §1). It supports the subset of the distribution API the workflow
-// exercises: blob upload/download and manifest push/pull by tag or digest.
+// paper §1). The server mounts any distrib.Store, so it runs either
+// fully in memory (oci.Store) or persistently on disk
+// (distrib.DiskStore), and speaks the distribution upload protocol:
+// resumable POST/PATCH/PUT blob upload sessions, HTTP Range blob GETs,
+// and manifest push/pull by tag or digest, including manifest lists.
 package registry
 
 import (
@@ -10,25 +13,72 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
-	"sync"
 
 	"comtainer/internal/digest"
+	"comtainer/internal/distrib"
 	"comtainer/internal/oci"
 )
 
-// Server is an in-memory OCI registry.
+// maxManifestSize bounds manifest documents; blobs are unbounded
+// (streamed to the store, never buffered whole).
+const maxManifestSize = 16 << 20
+
+// Server is an OCI registry over a pluggable blob and tag store.
 type Server struct {
-	mu    sync.RWMutex
-	blobs *oci.Store
-	// tags maps "name:tag" -> manifest descriptor.
-	tags map[string]oci.Descriptor
+	blobs   distrib.Store
+	refs    distrib.TagStore
+	uploads *distrib.UploadManager
 }
 
-// NewServer returns an empty registry server.
+// NewServer returns an in-memory registry server.
 func NewServer() *Server {
-	return &Server{blobs: oci.NewStore(), tags: make(map[string]oci.Descriptor)}
+	return &Server{
+		blobs:   oci.NewStore(),
+		refs:    distrib.NewMemTags(),
+		uploads: distrib.NewUploadManager(""),
+	}
+}
+
+// NewServerAt returns a registry server persisted under dir: blobs in
+// a sharded distrib.DiskStore, tags one file per reference, upload
+// sessions spooled to disk. Reopening the same dir after a restart
+// serves everything previously pushed.
+func NewServerAt(dir string) (*Server, error) {
+	blobs, err := distrib.NewDiskStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	refs, err := distrib.NewDiskTags(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		blobs:   blobs,
+		refs:    refs,
+		uploads: distrib.NewUploadManager(filepath.Join(dir, "uploads")),
+	}, nil
+}
+
+// NewServerWith returns a server over caller-provided stores.
+func NewServerWith(blobs distrib.Store, refs distrib.TagStore) *Server {
+	return &Server{blobs: blobs, refs: refs, uploads: distrib.NewUploadManager("")}
+}
+
+// Blobs exposes the mounted blob store (for inspection and GC).
+func (s *Server) Blobs() distrib.Store { return s.blobs }
+
+// GC deletes every blob unreachable from the currently tagged
+// manifests and manifest lists, returning the number dropped.
+func (s *Server) GC() (int, error) {
+	var roots []oci.Descriptor
+	for _, desc := range s.refs.All() {
+		roots = append(roots, desc)
+	}
+	return distrib.GC(s.blobs, roots)
 }
 
 // Handler returns the HTTP handler implementing the distribution API.
@@ -38,7 +88,7 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// route dispatches /v2/<name>/(manifests|blobs)/<ref> paths.
+// route dispatches /v2/<name>/(manifests|blobs|blobs/uploads)/<ref>.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v2/")
 	if rest == "" {
@@ -59,85 +109,237 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 	}
-	if name == "" || ref == "" {
+	if name == "" || (ref == "" && !strings.HasSuffix(rest, "/blobs/uploads/")) {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
-	switch {
-	case kind == "manifests" && r.Method == http.MethodGet:
-		s.getManifest(w, name, ref)
-	case kind == "manifests" && r.Method == http.MethodHead:
-		s.getManifest(w, name, ref)
-	case kind == "manifests" && r.Method == http.MethodPut:
-		s.putManifest(w, r, name, ref)
-	case kind == "blobs" && r.Method == http.MethodGet:
-		s.getBlob(w, ref)
-	case kind == "blobs" && r.Method == http.MethodHead:
+	if kind == "manifests" {
+		switch r.Method {
+		case http.MethodGet:
+			s.getManifest(w, name, ref, false)
+		case http.MethodHead:
+			s.getManifest(w, name, ref, true)
+		case http.MethodPut:
+			s.putManifest(w, r, name, ref)
+		default:
+			http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+		}
+		return
+	}
+	// Blob routes. Upload sessions live under blobs/uploads/.
+	if id, ok := strings.CutPrefix(ref, "uploads"); ok {
+		id = strings.TrimPrefix(id, "/")
+		s.routeUpload(w, r, name, id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.getBlob(w, r, ref)
+	case http.MethodHead:
 		s.headBlob(w, ref)
-	case kind == "blobs" && r.Method == http.MethodPut && strings.HasPrefix(ref, "uploads"):
-		s.putBlob(w, r)
 	default:
 		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
 	}
 }
 
-func (s *Server) getManifest(w http.ResponseWriter, name, ref string) {
-	s.mu.RLock()
-	desc, ok := s.tags[name+":"+ref]
-	s.mu.RUnlock()
-	if !ok {
-		// Maybe a digest reference.
-		if d, err := digest.Parse(ref); err == nil && s.blobs.Has(d) {
-			desc = oci.Descriptor{MediaType: oci.MediaTypeManifest, Digest: d}
-			ok = true
+// routeUpload dispatches the upload-session protocol:
+//
+//	POST   /v2/<name>/blobs/uploads/           start a session (202, Location)
+//	PATCH  /v2/<name>/blobs/uploads/<id>       append a chunk (Content-Range checked)
+//	PUT    /v2/<name>/blobs/uploads/<id>?digest=  finalize (verifies digest)
+//	GET    /v2/<name>/blobs/uploads/<id>       committed offset (204, Range)
+//	DELETE /v2/<name>/blobs/uploads/<id>       cancel
+//	PUT    /v2/<name>/blobs/uploads?digest=    legacy monolithic upload
+func (s *Server) routeUpload(w http.ResponseWriter, r *http.Request, name, id string) {
+	if id == "" {
+		switch {
+		case r.Method == http.MethodPost:
+			s.startUpload(w, r, name)
+		case r.Method == http.MethodPut && r.URL.Query().Get("digest") != "":
+			// Back-compat: the old single-request PUT ?digest= upload.
+			s.putBlobMonolithic(w, r)
+		default:
+			http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
 		}
+		return
 	}
+	u, ok := s.uploads.Get(id)
 	if !ok {
-		http.Error(w, "manifest unknown", http.StatusNotFound)
+		http.Error(w, "upload unknown", http.StatusNotFound)
 		return
 	}
-	b, err := s.blobs.Get(desc.Digest)
-	if err != nil {
-		http.Error(w, "manifest blob missing", http.StatusInternalServerError)
-		return
+	switch r.Method {
+	case http.MethodPatch:
+		s.patchUpload(w, r, u)
+	case http.MethodPut:
+		s.putUpload(w, r, name, u)
+	case http.MethodGet:
+		w.Header().Set("Docker-Upload-UUID", u.ID)
+		w.Header().Set("Range", uploadRange(u.Size()))
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		s.uploads.Cancel(u)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
 	}
-	w.Header().Set("Content-Type", oci.MediaTypeManifest)
-	w.Header().Set("Docker-Content-Digest", string(desc.Digest))
-	_, _ = w.Write(b)
 }
 
-func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
-	if err != nil {
-		http.Error(w, "read error", http.StatusBadRequest)
+// uploadRange renders the session Range header ("0-0" when empty, per
+// the docker convention).
+func uploadRange(size int64) string {
+	if size <= 0 {
+		return "0-0"
+	}
+	return fmt.Sprintf("0-%d", size-1)
+}
+
+func (s *Server) startUpload(w http.ResponseWriter, r *http.Request, name string) {
+	// Single-POST monolithic upload when a digest is supplied.
+	if want := r.URL.Query().Get("digest"); want != "" {
+		s.putBlobMonolithic(w, r)
 		return
 	}
-	d := s.blobs.Put(body)
-	s.mu.Lock()
-	s.tags[name+":"+ref] = oci.Descriptor{
-		MediaType: oci.MediaTypeManifest,
-		Digest:    d,
-		Size:      int64(len(body)),
+	u, err := s.uploads.Start(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	s.mu.Unlock()
+	w.Header().Set("Location", "/v2/"+name+"/blobs/uploads/"+u.ID)
+	w.Header().Set("Docker-Upload-UUID", u.ID)
+	w.Header().Set("Range", "0-0")
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) patchUpload(w http.ResponseWriter, r *http.Request, u *distrib.Upload) {
+	expectStart := int64(-1)
+	if cr := r.Header.Get("Content-Range"); cr != "" {
+		start, _, ok := strings.Cut(strings.TrimPrefix(cr, "bytes "), "-")
+		n, err := strconv.ParseInt(start, 10, 64)
+		if !ok || err != nil || n < 0 {
+			http.Error(w, "malformed Content-Range", http.StatusBadRequest)
+			return
+		}
+		expectStart = n
+	}
+	size, err := u.Append(r.Body, expectStart)
+	if err != nil {
+		// A mis-aligned chunk gets 416 plus the committed range so the
+		// client can resume from the recorded offset.
+		w.Header().Set("Docker-Upload-UUID", u.ID)
+		w.Header().Set("Range", uploadRange(size))
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	w.Header().Set("Docker-Upload-UUID", u.ID)
+	w.Header().Set("Range", uploadRange(size))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) putUpload(w http.ResponseWriter, r *http.Request, name string, u *distrib.Upload) {
+	// An optional trailing chunk may ride on the finalizing PUT.
+	if r.ContentLength != 0 {
+		if _, err := u.Append(r.Body, -1); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	want, err := digest.Parse(r.URL.Query().Get("digest"))
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	d, _, err := s.uploads.Commit(u, s.blobs, want)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Location", "/v2/"+name+"/blobs/"+string(d))
 	w.Header().Set("Docker-Content-Digest", string(d))
 	w.WriteHeader(http.StatusCreated)
 }
 
-func (s *Server) getBlob(w http.ResponseWriter, ref string) {
+// putBlobMonolithic is the legacy single-request upload: the whole
+// blob in one PUT (or POST) with ?digest=.
+func (s *Server) putBlobMonolithic(w http.ResponseWriter, r *http.Request) {
+	want, err := digest.Parse(r.URL.Query().Get("digest"))
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	d, _, err := s.blobs.Ingest(io.LimitReader(r.Body, 1<<30), want)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.WriteHeader(http.StatusCreated)
+}
+
+// getBlob streams a blob, honoring single-range HTTP Range requests
+// ("bytes=a-b" / "bytes=a-") with 206 responses.
+func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, ref string) {
 	d, err := digest.Parse(ref)
 	if err != nil {
 		http.Error(w, "invalid digest", http.StatusBadRequest)
 		return
 	}
-	b, err := s.blobs.Get(d)
+	body, size, err := s.blobs.Open(d)
 	if err != nil {
 		http.Error(w, "blob unknown", http.StatusNotFound)
 		return
 	}
+	defer body.Close()
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Docker-Content-Digest", string(d))
-	_, _ = w.Write(b)
+	w.Header().Set("Accept-Ranges", "bytes")
+	if rng := r.Header.Get("Range"); rng != "" {
+		start, end, ok := parseByteRange(rng, size)
+		if !ok {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+			http.Error(w, "unsatisfiable range", http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		if _, err := io.CopyN(io.Discard, body, start); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, end, size))
+		w.Header().Set("Content-Length", strconv.FormatInt(end-start+1, 10))
+		w.WriteHeader(http.StatusPartialContent)
+		_, _ = io.CopyN(w, body, end-start+1)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	_, _ = io.Copy(w, body)
+}
+
+// parseByteRange parses a single "bytes=a-b" or "bytes=a-" range
+// against a blob of the given size, returning the inclusive bounds.
+func parseByteRange(rng string, size int64) (start, end int64, ok bool) {
+	spec, found := strings.CutPrefix(rng, "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, 0, false
+	}
+	from, to, found := strings.Cut(spec, "-")
+	if !found {
+		return 0, 0, false
+	}
+	start, err := strconv.ParseInt(from, 10, 64)
+	if err != nil || start < 0 || start >= size {
+		return 0, 0, false
+	}
+	if to == "" {
+		return start, size - 1, true
+	}
+	end, err = strconv.ParseInt(to, 10, 64)
+	if err != nil || end < start {
+		return 0, 0, false
+	}
+	if end >= size {
+		end = size - 1
+	}
+	return start, end, true
 }
 
 func (s *Server) headBlob(w http.ResponseWriter, ref string) {
@@ -146,40 +348,127 @@ func (s *Server) headBlob(w http.ResponseWriter, ref string) {
 		w.WriteHeader(http.StatusNotFound)
 		return
 	}
+	body, size, err := s.blobs.Open(d)
+	if err != nil {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	body.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	w.WriteHeader(http.StatusOK)
 }
 
-func (s *Server) putBlob(w http.ResponseWriter, r *http.Request) {
-	want := r.URL.Query().Get("digest")
-	d, err := digest.Parse(want)
-	if err != nil {
-		http.Error(w, "invalid digest", http.StatusBadRequest)
+// resolveManifest turns a tag or digest reference into a descriptor.
+func (s *Server) resolveManifest(name, ref string) (oci.Descriptor, bool) {
+	if desc, ok := s.refs.Resolve(name, ref); ok {
+		return desc, true
+	}
+	if d, err := digest.Parse(ref); err == nil && s.blobs.Has(d) {
+		return oci.Descriptor{MediaType: oci.MediaTypeManifest, Digest: d}, true
+	}
+	return oci.Descriptor{}, false
+}
+
+// getManifest serves GET and HEAD for manifests; HEAD returns the same
+// headers (Docker-Content-Digest, Content-Type, Content-Length) with
+// no body.
+func (s *Server) getManifest(w http.ResponseWriter, name, ref string, headOnly bool) {
+	desc, ok := s.resolveManifest(name, ref)
+	if !ok {
+		http.Error(w, "manifest unknown", http.StatusNotFound)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+	b, err := distrib.ReadBlob(s.blobs, desc.Digest)
+	if err != nil {
+		http.Error(w, "manifest blob missing", http.StatusInternalServerError)
+		return
+	}
+	mediaType := desc.MediaType
+	if mediaType == "" {
+		mediaType = oci.MediaTypeManifest
+	}
+	w.Header().Set("Content-Type", mediaType)
+	w.Header().Set("Docker-Content-Digest", string(desc.Digest))
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	if headOnly {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	_, _ = w.Write(b)
+}
+
+// putManifest stores a manifest or manifest list pushed by tag or by
+// digest. Per distribution-spec semantics it rejects (400, naming the
+// digest) any manifest whose referenced config/layers — or, for a
+// list, member manifests — are not yet present, so clients must upload
+// blobs first.
+func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxManifestSize))
 	if err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
 	}
-	if err := s.blobs.PutVerified(body, d); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	var refs struct {
+		Config    *oci.Descriptor  `json:"config"`
+		Layers    []oci.Descriptor `json:"layers"`
+		Manifests []oci.Descriptor `json:"manifests"`
+	}
+	if err := json.Unmarshal(body, &refs); err != nil {
+		http.Error(w, "manifest is not valid JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	var referenced []oci.Descriptor
+	if refs.Config != nil && refs.Config.Digest != "" {
+		referenced = append(referenced, *refs.Config)
+	}
+	referenced = append(referenced, refs.Layers...)
+	referenced = append(referenced, refs.Manifests...)
+	for _, rd := range referenced {
+		if !s.blobs.Has(rd.Digest) {
+			http.Error(w, fmt.Sprintf("manifest references missing blob %s", rd.Digest), http.StatusBadRequest)
+			return
+		}
+	}
+	d := digest.FromBytes(body)
+	if want, err := digest.Parse(ref); err == nil {
+		// Push by digest: content must match the reference.
+		if want != d {
+			http.Error(w, fmt.Sprintf("manifest digest mismatch: content is %s, ref is %s", d, want), http.StatusBadRequest)
+			return
+		}
+	}
+	if _, _, err := s.blobs.Ingest(strings.NewReader(string(body)), d); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	mediaType := r.Header.Get("Content-Type")
+	if mediaType == "" {
+		mediaType = oci.MediaTypeManifest
+		if len(refs.Manifests) > 0 {
+			mediaType = oci.MediaTypeIndex
+		}
+	}
+	if _, err := digest.Parse(ref); err != nil {
+		// Tag reference: record it.
+		if err := s.refs.Set(name, ref, oci.Descriptor{
+			MediaType: mediaType,
+			Digest:    d,
+			Size:      int64(len(body)),
+		}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Location", "/v2/"+name+"/manifests/"+string(d))
 	w.Header().Set("Docker-Content-Digest", string(d))
 	w.WriteHeader(http.StatusCreated)
 }
 
 // listTags serves the distribution tags/list endpoint.
 func (s *Server) listTags(w http.ResponseWriter, name string) {
-	s.mu.RLock()
-	var tags []string
-	for k := range s.tags {
-		if n, tag, ok := strings.Cut(k, ":"); ok && n == name {
-			tags = append(tags, tag)
-		}
-	}
-	s.mu.RUnlock()
-	sort.Strings(tags)
+	tags := s.refs.Tags(name)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
 		Name string   `json:"name"`
@@ -189,171 +478,47 @@ func (s *Server) listTags(w http.ResponseWriter, name string) {
 
 // Tags lists the known "name:tag" keys (for inspection).
 func (s *Server) Tags() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.tags))
-	for k := range s.tags {
+	all := s.refs.All()
+	out := make([]string, 0, len(all))
+	for k := range all {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // --- Client ---
 
-// Client pushes and pulls images against a registry base URL
-// (e.g. "http://127.0.0.1:5000").
+// Client pushes and pulls images against a registry base URL, backed
+// by the concurrent distrib.Client (parallel layer transfer, resumable
+// chunked uploads, retry with backoff, cross-image blob dedup).
 type Client struct {
-	Base string
-	HTTP *http.Client
+	*distrib.Client
 }
 
 // NewClient returns a client for the registry at base.
 func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
-}
-
-func (c *Client) url(parts ...string) string {
-	return c.Base + "/v2/" + strings.Join(parts, "/")
-}
-
-// Ping checks the registry is alive.
-func (c *Client) Ping() error {
-	resp, err := c.HTTP.Get(c.Base + "/v2/")
-	if err != nil {
-		return fmt.Errorf("registry: ping: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("registry: ping: status %s", resp.Status)
-	}
-	return nil
-}
-
-// pushBlob uploads one blob (monolithic PUT).
-func (c *Client) pushBlob(name string, content []byte) error {
-	d := digest.FromBytes(content)
-	req, err := http.NewRequest(http.MethodPut,
-		c.url(name, "blobs", "uploads")+"?digest="+string(d),
-		strings.NewReader(string(content)))
-	if err != nil {
-		return err
-	}
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return fmt.Errorf("registry: uploading blob %s: %w", d.Short(), err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("registry: uploading blob %s: status %s", d.Short(), resp.Status)
-	}
-	return nil
+	return &Client{Client: distrib.NewClient(base)}
 }
 
 // Push uploads the image tagged localTag in repo to the registry as
-// name:tag — all referenced blobs first, then the manifest.
+// name:tag — all referenced blobs first (in parallel, skipping blobs
+// the registry already holds), then the manifest.
 func (c *Client) Push(repo *oci.Repository, localTag, name, tag string) error {
 	desc, err := repo.Resolve(localTag)
 	if err != nil {
 		return err
 	}
-	m, err := oci.LoadManifest(repo.Store, desc.Digest)
-	if err != nil {
-		return err
-	}
-	refs := append([]oci.Descriptor{m.Config}, m.Layers...)
-	for _, rd := range refs {
-		b, err := repo.Store.Get(rd.Digest)
-		if err != nil {
-			return err
-		}
-		if err := c.pushBlob(name, b); err != nil {
-			return err
-		}
-	}
-	manifestBytes, err := repo.Store.Get(desc.Digest)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequest(http.MethodPut, c.url(name, "manifests", tag),
-		strings.NewReader(string(manifestBytes)))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", oci.MediaTypeManifest)
-	resp, err := c.HTTP.Do(req)
-	if err != nil {
-		return fmt.Errorf("registry: pushing manifest: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("registry: pushing manifest: status %s", resp.Status)
-	}
-	return nil
+	return c.PushImage(repo.Store, desc, name, tag)
 }
 
-// fetch retrieves a URL body.
-func (c *Client) fetch(url string) ([]byte, string, error) {
-	resp, err := c.HTTP.Get(url)
-	if err != nil {
-		return nil, "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, "", fmt.Errorf("registry: GET %s: status %s", url, resp.Status)
-	}
-	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
-	if err != nil {
-		return nil, "", err
-	}
-	return b, resp.Header.Get("Docker-Content-Digest"), nil
-}
-
-// ListTags returns the tags of a repository name on the registry, sorted.
-func (c *Client) ListTags(name string) ([]string, error) {
-	body, _, err := c.fetch(c.url(name, "tags", "list"))
-	if err != nil {
-		return nil, err
-	}
-	var out struct {
-		Tags []string `json:"tags"`
-	}
-	if err := json.Unmarshal(body, &out); err != nil {
-		return nil, fmt.Errorf("registry: decoding tags list: %w", err)
-	}
-	return out.Tags, nil
-}
-
-// Pull downloads name:tag from the registry into repo under localTag.
+// Pull downloads name:tag from the registry into repo under localTag,
+// fetching missing layers in parallel.
 func (c *Client) Pull(repo *oci.Repository, name, tag, localTag string) error {
-	manifestBytes, dgst, err := c.fetch(c.url(name, "manifests", tag))
+	desc, err := c.PullImage(repo.Store, name, tag)
 	if err != nil {
 		return err
 	}
-	md := digest.FromBytes(manifestBytes)
-	if dgst != "" && dgst != string(md) {
-		return fmt.Errorf("registry: manifest digest mismatch: header %s, content %s", dgst, md)
-	}
-	repo.Store.Put(manifestBytes)
-	m, err := oci.LoadManifest(repo.Store, md)
-	if err != nil {
-		return err
-	}
-	for _, rd := range append([]oci.Descriptor{m.Config}, m.Layers...) {
-		if repo.Store.Has(rd.Digest) {
-			continue
-		}
-		b, _, err := c.fetch(c.url(name, "blobs", string(rd.Digest)))
-		if err != nil {
-			return err
-		}
-		if err := repo.Store.PutVerified(b, rd.Digest); err != nil {
-			return fmt.Errorf("registry: corrupt blob from server: %w", err)
-		}
-	}
-	repo.Tag(localTag, oci.Descriptor{
-		MediaType: oci.MediaTypeManifest,
-		Digest:    md,
-		Size:      int64(len(manifestBytes)),
-	})
+	repo.Tag(localTag, desc)
 	return nil
 }
