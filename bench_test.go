@@ -17,9 +17,11 @@ import (
 	"testing"
 	"time"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/cclang"
 	"comtainer/internal/core"
 	"comtainer/internal/core/adapter"
+	"comtainer/internal/digest"
 	"comtainer/internal/dpkg"
 	"comtainer/internal/experiments"
 	"comtainer/internal/fsim"
@@ -489,6 +491,91 @@ func BenchmarkBuildCacheSpeedup(b *testing.B) {
 		if hits == 0 {
 			b.Fatal("second build took no cache hits")
 		}
+	}
+	b.ReportMetric(float64(coldNS)/1e6, "cold-ms")
+	b.ReportMetric(float64(warmNS)/1e6, "warm-ms")
+	if warmNS > 0 {
+		b.ReportMetric(float64(coldNS)/float64(warmNS), "speedup-x")
+	}
+}
+
+// BenchmarkRebuildColdVsWarm measures the action cache over the
+// Table-2 workload set: every app's extended image is rebuilt twice on
+// fresh system sides sharing one on-disk action cache. The cold pass
+// populates the cache; the warm pass must replay at least 90% of the
+// toolchain invocations (reported via cache Stats) and produce
+// byte-identical +coMre images.
+func BenchmarkRebuildColdVsWarm(b *testing.B) {
+	sys := sysprofile.X86Cluster()
+	user, err := core.NewUserSide(sys.ISA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type built struct {
+		name    string
+		extTag  string
+		distTag string
+	}
+	var apps []built
+	for _, app := range workloads.Apps() {
+		res, err := user.BuildExtended(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apps = append(apps, built{app.Name, res.ExtendedTag, res.DistTag})
+	}
+
+	// rebuildAll pulls and rebuilds every app on a fresh system side
+	// wired to memo, returning the +coMre digests and the wall time.
+	rebuildAll := func(memo *actioncache.Memoizer) (map[string]digest.Digest, int64) {
+		digests := map[string]digest.Digest{}
+		t0 := nowNano()
+		for _, a := range apps {
+			system, err := core.NewSystemSide(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			system.ActionMemo = memo
+			if err := system.Pull(user.Repo, a.extTag); err != nil {
+				b.Fatal(err)
+			}
+			desc, _, err := system.Rebuild(a.distTag, adapter.DefaultAdapted(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			digests[a.name] = desc.Digest
+		}
+		return digests, nowNano() - t0
+	}
+
+	var coldStats, warmStats actioncache.Stats
+	var coldNS, warmNS int64
+	for i := 0; i < b.N; i++ {
+		disk, err := actioncache.NewDiskCache(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldMemo := actioncache.NewMemoizer(disk)
+		cold, cns := rebuildAll(coldMemo)
+		warmMemo := actioncache.NewMemoizer(disk)
+		warm, wns := rebuildAll(warmMemo)
+		coldStats, warmStats = coldMemo.Stats(), warmMemo.Stats()
+		coldNS, warmNS = cns, wns
+		for name, d := range cold {
+			if warm[name] != d {
+				b.Fatalf("%s: warm rebuild digest %s differs from cold %s", name, warm[name], d)
+			}
+		}
+		if warmStats.Misses > coldStats.Misses/10 {
+			b.Fatalf("warm rebuild executed %d of %d actions, want <= 10%%",
+				warmStats.Misses, coldStats.Misses)
+		}
+	}
+	b.ReportMetric(float64(len(apps)), "images")
+	b.ReportMetric(float64(coldStats.Misses), "cold-execs")
+	b.ReportMetric(float64(warmStats.Misses), "warm-execs")
+	if coldStats.Misses > 0 {
+		b.ReportMetric(100*(1-float64(warmStats.Misses)/float64(coldStats.Misses)), "exec-cut-%")
 	}
 	b.ReportMetric(float64(coldNS)/1e6, "cold-ms")
 	b.ReportMetric(float64(warmNS)/1e6, "warm-ms")

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	comtainer-rebuild -layout ./lulesh.dist.oci -system x86-64 -adapters libo,cxxo,lto
+//	comtainer-rebuild -layout ./lulesh.dist.oci -system x86-64 -adapters libo,cxxo,lto \
+//	                  -action-cache ~/.cache/comtainer-actions -action-cache-remote http://127.0.0.1:5000
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/core/adapter"
 	"comtainer/internal/core/backend"
 	"comtainer/internal/core/cache"
@@ -25,15 +27,40 @@ func main() {
 	layout := flag.String("layout", "", "OCI layout directory holding the extended image")
 	sysName := flag.String("system", "x86-64", "target system: x86-64 or aarch64")
 	adapterList := flag.String("adapters", "libo,cxxo", "comma-separated adapter chain: libo,cxxo,lto,cross-isa")
+	cacheDir := flag.String("action-cache", "", "directory for the local action-cache tier (empty = caching off)")
+	cacheRemote := flag.String("action-cache-remote", "", "registry URL of the shared remote action-cache tier, e.g. http://127.0.0.1:5000")
+	cacheCap := flag.Int64("action-cache-cap", 0, "byte cap of the local action-cache tier (0 = unbounded)")
+	workers := flag.Int("j", 0, "max concurrent build commands (0 = min(GOMAXPROCS, 8))")
 	flag.Parse()
 	if *layout == "" {
-		fmt.Fprintln(os.Stderr, "usage: comtainer-rebuild -layout <dir.oci> -system <name> [-adapters ...]")
+		fmt.Fprintln(os.Stderr, "usage: comtainer-rebuild -layout <dir.oci> -system <name> [-adapters ...] [-action-cache <dir>] [-action-cache-remote <url>] [-j N]")
 		os.Exit(2)
 	}
-	if err := run(*layout, *sysName, *adapterList); err != nil {
+	if err := run(*layout, *sysName, *adapterList, *cacheDir, *cacheRemote, *cacheCap, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "comtainer-rebuild:", err)
 		os.Exit(1)
 	}
+}
+
+// buildMemo assembles the action-cache tier stack from the flags; a nil
+// memoizer means caching is off.
+func buildMemo(cacheDir, cacheRemote string, cacheCap int64) (*actioncache.Memoizer, error) {
+	var local, remote actioncache.Cache
+	if cacheDir != "" {
+		disk, err := actioncache.NewDiskCache(cacheDir, cacheCap)
+		if err != nil {
+			return nil, err
+		}
+		local = disk
+	}
+	if cacheRemote != "" {
+		remote = actioncache.NewRemoteCache(cacheRemote, "")
+	}
+	tiers := actioncache.NewTiered(local, remote)
+	if tiers == nil {
+		return nil, nil
+	}
+	return actioncache.NewMemoizer(tiers), nil
 }
 
 // parseAdapters resolves adapter names to the built-in chain.
@@ -71,8 +98,12 @@ func findDistTag(repo *oci.Repository) (string, error) {
 	return "", fmt.Errorf("layout holds no extended image (+coM tag); run comtainer-build first")
 }
 
-func run(layoutDir, sysName, adapterSpec string) error {
+func run(layoutDir, sysName, adapterSpec, cacheDir, cacheRemote string, cacheCap int64, workers int) error {
 	repo, err := oci.LoadLayout(layoutDir)
+	if err != nil {
+		return err
+	}
+	memo, err := buildMemo(cacheDir, cacheRemote, cacheCap)
 	if err != nil {
 		return err
 	}
@@ -95,6 +126,8 @@ func run(layoutDir, sysName, adapterSpec string) error {
 	desc, report, err := backend.Rebuild(repo, distTag, backend.RebuildOptions{
 		System:   sys,
 		Adapters: adapters,
+		Memo:     memo,
+		Workers:  workers,
 	})
 	if err != nil {
 		return err
@@ -104,6 +137,9 @@ func run(layoutDir, sysName, adapterSpec string) error {
 	}
 	fmt.Printf("rebuilt %s for %s -> %s (%s)\n", distTag, sys.Name, cache.RebuiltTag(distTag), desc.Digest.Short())
 	fmt.Printf("adapted %d build commands\n", report.ChangedCommands)
+	if memo != nil {
+		fmt.Printf("action cache: %s\n", memo.Stats())
+	}
 	for _, n := range report.Notes {
 		fmt.Println(" ", n)
 	}

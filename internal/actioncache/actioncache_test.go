@@ -1,0 +1,328 @@
+package actioncache
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/registry"
+)
+
+func key(s string) digest.Digest { return digest.FromString(s) }
+
+func TestDocumentRoundTrip(t *testing.T) {
+	man := Manifest{Inputs: []Input{
+		{Op: OpRead, Path: "/src/a.c"},
+		{Op: OpExists, Path: "/usr/lib/libm.so"},
+	}}
+	got, err := DecodeManifest(EncodeManifest(man))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Inputs) != 2 || got.Inputs[0] != man.Inputs[0] {
+		t.Fatalf("manifest round trip mismatch: %+v", got)
+	}
+	res := Result{Outputs: []Output{{Path: "/src/a.o", Mode: 0o644, Data: []byte("obj")}}}
+	rgot, err := DecodeResult(EncodeResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rgot.Outputs) != 1 || !bytes.Equal(rgot.Outputs[0].Data, []byte("obj")) {
+		t.Fatalf("result round trip mismatch: %+v", rgot)
+	}
+	if _, err := DecodeManifest(EncodeResult(res)); err == nil {
+		t.Fatal("manifest decoder accepted a result document")
+	}
+}
+
+func TestActionSpecID(t *testing.T) {
+	a := ActionSpec{Argv: []string{"gcc", "-c", "a.c"}, Cwd: "/w", March: "x86-64"}
+	b := a
+	if a.ID() != b.ID() {
+		t.Fatal("identical specs got different IDs")
+	}
+	b.March = "znver4"
+	if a.ID() == b.ID() {
+		t.Fatal("different march collided")
+	}
+	if ManifestKey(a.ID()) == ResultKey(a.ID(), nil, nil) {
+		t.Fatal("manifest and result key namespaces collide")
+	}
+}
+
+func TestRecorderSelfOutputNotInput(t *testing.T) {
+	rec := NewRecorder()
+	rec.NoteInput(OpRead, "/w/app", "old-digest")
+	rec.NoteOutput("/w/app", []byte("new"), 0o755)
+	rec.NoteInput(OpRead, "/w/app", "new-digest") // re-read of own output: dropped
+	man, states := rec.Manifest()
+	if len(man.Inputs) != 1 || states[0] != "old-digest" {
+		t.Fatalf("want only the pre-write read, got %+v %v", man.Inputs, states)
+	}
+}
+
+func TestDiskCacheBasicAndVerify(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("k1")
+	if err := c.Put(k, []byte("value-1")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(k)
+	if err != nil || !ok || string(got) != "value-1" {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if _, ok, _ := c.Get(key("absent")); ok {
+		t.Fatal("hit on absent key")
+	}
+
+	// Corrupt the entry on disk: Get must detect, self-heal, and miss.
+	p := c.entryPath(k)
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)-1] ^= 0xff
+	os.WriteFile(p, raw, 0o644)
+	if _, ok, _ := c.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	s := c.Stats()
+	if s.LocalHits != 1 || s.LocalMisses != 2 || s.Errors != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskCachePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := NewDiskCache(dir, 0)
+	if err := c.Put(key("p"), []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := c2.Get(key("p"))
+	if !ok || string(got) != "persisted" {
+		t.Fatalf("reopened cache lost the entry: %q %v", got, ok)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d", c2.Len())
+	}
+}
+
+func TestDiskCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Entries are ~100 bytes with header; cap at ~3 entries.
+	val := bytes.Repeat([]byte("x"), 64)
+	c, _ := NewDiskCache(dir, 3*(int64(len(entryMagic))+72+int64(len(val))))
+	for i := 0; i < 3; i++ {
+		if err := c.Put(key(fmt.Sprintf("e%d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch e0 so e1 becomes LRU, then insert a fourth entry.
+	if _, ok, _ := c.Get(key("e0")); !ok {
+		t.Fatal("e0 missing before eviction")
+	}
+	if err := c.Put(key("e3"), val); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get(key("e1")); ok {
+		t.Fatal("LRU entry e1 survived eviction")
+	}
+	for _, k := range []string{"e0", "e2", "e3"} {
+		if _, ok, _ := c.Get(key(k)); !ok {
+			t.Fatalf("%s evicted but was not LRU", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions == 0 || s.EvictedByte == 0 {
+		t.Fatalf("eviction not counted: %+v", s)
+	}
+}
+
+func TestRemoteCache(t *testing.T) {
+	ts := httptest.NewServer(registry.NewServer().Handler())
+	defer ts.Close()
+	c := NewRemoteCache(ts.URL, "")
+
+	if _, ok, err := c.Get(key("absent")); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+	if err := c.Put(key("r1"), []byte("remote-value")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key("r1"))
+	if err != nil || !ok || string(got) != "remote-value" {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	s := c.Stats()
+	if s.RemoteHits != 1 || s.RemoteMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTieredPushThrough(t *testing.T) {
+	ts := httptest.NewServer(registry.NewServer().Handler())
+	defer ts.Close()
+	remote := NewRemoteCache(ts.URL, "")
+	local, _ := NewDiskCache(t.TempDir(), 0)
+	tiers := NewTiered(local, remote)
+
+	// Seed only the remote, as a second machine would have.
+	if err := remote.Put(key("shared"), []byte("fleet-wide")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := tiers.Get(key("shared"))
+	if err != nil || !ok || string(got) != "fleet-wide" {
+		t.Fatalf("tiered Get = %q, %v, %v", got, ok, err)
+	}
+	// The hit must have filled the local tier.
+	if _, ok, _ := local.Get(key("shared")); !ok {
+		t.Fatal("remote hit not pushed through to local tier")
+	}
+	if s := tiers.Stats(); s.RemoteFills != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// Put writes both tiers.
+	if err := tiers.Put(key("both"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := local.Get(key("both")); !ok {
+		t.Fatal("Put skipped local tier")
+	}
+	if _, ok, _ := remote.Get(key("both")); !ok {
+		t.Fatal("Put skipped remote tier")
+	}
+}
+
+func TestNewTieredDegenerate(t *testing.T) {
+	local, _ := NewDiskCache(t.TempDir(), 0)
+	if NewTiered(nil, nil) != nil {
+		t.Fatal("two nil tiers should collapse to nil")
+	}
+	if c := NewTiered(local, nil); c != Cache(local) {
+		t.Fatal("single tier should be returned unwrapped")
+	}
+}
+
+// mapState serves input states from a fixed map (simulating FS content).
+type mapState map[Input]string
+
+func (m mapState) StateOf(in Input) string { return m[in] }
+
+func TestMemoizerHitMissAndInvalidation(t *testing.T) {
+	local, _ := NewDiskCache(t.TempDir(), 0)
+	m := NewMemoizer(local)
+	id := ActionSpec{Argv: []string{"cc", "-c", "a.c"}, Cwd: "/w"}.ID()
+	in := Input{Op: OpRead, Path: "/w/a.c"}
+
+	execs := 0
+	exec := func(content string) func(*Recorder) error {
+		return func(rec *Recorder) error {
+			execs++
+			rec.NoteInput(OpRead, "/w/a.c", content)
+			rec.NoteOutput("/w/a.o", []byte("obj-"+content), 0o644)
+			return nil
+		}
+	}
+
+	// Cold: executes.
+	if _, replay, err := m.Do(id, mapState{in: "v1"}, exec("v1")); err != nil || replay {
+		t.Fatalf("cold: replay=%v err=%v", replay, err)
+	}
+	// Warm, same input state: replays.
+	res, replay, err := m.Do(id, mapState{in: "v1"}, exec("v1"))
+	if err != nil || !replay {
+		t.Fatalf("warm: replay=%v err=%v", replay, err)
+	}
+	if len(res.Outputs) != 1 || string(res.Outputs[0].Data) != "obj-v1" {
+		t.Fatalf("warm result = %+v", res)
+	}
+	// Changed input: the result key changes, so it executes again.
+	if _, replay, err := m.Do(id, mapState{in: "v2"}, exec("v2")); err != nil || replay {
+		t.Fatalf("invalidated: replay=%v err=%v", replay, err)
+	}
+	if execs != 2 {
+		t.Fatalf("execs = %d, want 2", execs)
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMemoizerErrorsNotCached(t *testing.T) {
+	local, _ := NewDiskCache(t.TempDir(), 0)
+	m := NewMemoizer(local)
+	id := key("failing-action")
+	boom := fmt.Errorf("boom")
+	if _, _, err := m.Do(id, mapState{}, func(*Recorder) error { return boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	// Must execute again, not replay the failure.
+	ran := false
+	if _, replay, err := m.Do(id, mapState{}, func(*Recorder) error { ran = true; return nil }); err != nil || replay {
+		t.Fatalf("replay=%v err=%v", replay, err)
+	}
+	if !ran {
+		t.Fatal("second attempt did not execute")
+	}
+}
+
+func TestMemoizerSingleflight(t *testing.T) {
+	local, _ := NewDiskCache(t.TempDir(), 0)
+	m := NewMemoizer(local)
+	id := key("contended-action")
+
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := m.Do(id, mapState{}, func(rec *Recorder) error {
+				execs.Add(1)
+				<-release
+				rec.NoteOutput("/out", []byte("x"), 0o644)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Let everyone pile onto the flight, then release the executor.
+	for m.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("execs = %d, want 1 (singleflight)", got)
+	}
+	if s := m.Stats(); s.Deduped == 0 {
+		t.Fatalf("no dedups counted: %+v", s)
+	}
+}
+
+func TestNilMemoizerExecutes(t *testing.T) {
+	var m *Memoizer
+	ran := false
+	if _, replay, err := m.Do(key("x"), nil, func(*Recorder) error { ran = true; return nil }); err != nil || replay || !ran {
+		t.Fatalf("nil memoizer: ran=%v replay=%v err=%v", ran, replay, err)
+	}
+}

@@ -1,0 +1,295 @@
+package actioncache
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comtainer/internal/digest"
+)
+
+// DiskCache is the local tier: entries sharded on disk as
+// entries/sha256/ab/<keyhex> (the same layout as distrib.DiskStore's
+// blob tree), written atomically via temp file + rename, verified
+// against an embedded payload digest on every read, and evicted
+// least-recently-used when a byte cap is set.
+//
+// Recency survives restarts through file mtimes: Get touches the
+// entry, and reopening a cache seeds its LRU order from the mtimes on
+// disk. Safe for concurrent use.
+type DiskCache struct {
+	root     string
+	maxBytes int64 // 0 = unbounded
+
+	mu      sync.Mutex
+	entries map[digest.Digest]*diskEntry
+	size    int64
+	clock   int64 // logical LRU clock; larger = more recent
+
+	hits, misses, evictions, evictedBytes, errors atomic.Int64
+}
+
+type diskEntry struct {
+	size    int64
+	lastUse int64
+}
+
+// entryMagic precedes every entry: "COMT-AC1 <payload digest>\n".
+const entryMagic = "COMT-AC1 "
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir,
+// clears stale temp files, and indexes existing entries. maxBytes of
+// 0 disables eviction.
+func NewDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	c := &DiskCache{
+		root:     dir,
+		maxBytes: maxBytes,
+		entries:  make(map[digest.Digest]*diskEntry),
+	}
+	for _, d := range []string{filepath.Join(dir, "entries", "sha256"), c.tmpDir()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("actioncache: creating %s: %w", d, err)
+		}
+	}
+	// A temp file left behind is an interrupted write from a dead
+	// process; it can never be completed.
+	if names, err := os.ReadDir(c.tmpDir()); err == nil {
+		for _, n := range names {
+			os.Remove(filepath.Join(c.tmpDir(), n.Name()))
+		}
+	}
+	if err := c.index(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *DiskCache) tmpDir() string { return filepath.Join(c.root, "tmp") }
+
+func (c *DiskCache) entryPath(key digest.Digest) string {
+	hex := key.Hex()
+	return filepath.Join(c.root, "entries", "sha256", hex[:2], hex)
+}
+
+// index scans the entry tree and seeds the LRU order from mtimes.
+func (c *DiskCache) index() error {
+	type found struct {
+		key  digest.Digest
+		size int64
+		mod  time.Time
+	}
+	var all []found
+	base := filepath.Join(c.root, "entries", "sha256")
+	err := filepath.WalkDir(base, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		key := digest.Digest("sha256:" + d.Name())
+		if key.Validate() != nil {
+			return nil // foreign file; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		all = append(all, found{key: key, size: info.Size(), mod: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("actioncache: indexing %s: %w", base, err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mod.Before(all[j].mod) })
+	for _, f := range all {
+		c.clock++
+		c.entries[f.key] = &diskEntry{size: f.size, lastUse: c.clock}
+		c.size += f.size
+	}
+	return nil
+}
+
+// Get returns the entry under key, verifying its embedded payload
+// digest. A corrupt entry is deleted and reported as a miss.
+func (c *DiskCache) Get(key digest.Digest) ([]byte, bool, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	c.clock++
+	e.lastUse = c.clock
+	c.mu.Unlock()
+
+	p := c.entryPath(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		c.drop(key)
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	val, err := decodeEntry(raw)
+	if err != nil {
+		// Bit rot or a truncated write: self-heal by discarding.
+		os.Remove(p)
+		c.drop(key)
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	now := time.Now()
+	os.Chtimes(p, now, now) // persist recency; best-effort
+	c.hits.Add(1)
+	return val, true, nil
+}
+
+// Put stores val under key atomically and evicts LRU entries if the
+// cache exceeds its cap.
+func (c *DiskCache) Put(key digest.Digest, val []byte) error {
+	if err := key.Validate(); err != nil {
+		return fmt.Errorf("actioncache: invalid key: %w", err)
+	}
+	data := encodeEntry(val)
+	p := c.entryPath(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: creating shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.tmpDir(), "put-*")
+	if err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: creating temp entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: closing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: committing entry: %w", err)
+	}
+
+	c.mu.Lock()
+	if old, ok := c.entries[key]; ok {
+		c.size -= old.size
+	}
+	c.clock++
+	c.entries[key] = &diskEntry{size: int64(len(data)), lastUse: c.clock}
+	c.size += int64(len(data))
+	victims := c.pickVictimsLocked(key)
+	c.mu.Unlock()
+
+	for _, v := range victims {
+		os.Remove(c.entryPath(v))
+	}
+	return nil
+}
+
+// pickVictimsLocked removes least-recently-used entries from the
+// index until the cache fits its cap, sparing keep (the entry just
+// written), and returns their keys for file deletion outside the
+// lock.
+func (c *DiskCache) pickVictimsLocked(keep digest.Digest) []digest.Digest {
+	if c.maxBytes <= 0 {
+		return nil
+	}
+	var victims []digest.Digest
+	for c.size > c.maxBytes && len(c.entries) > 1 {
+		var lru digest.Digest
+		var lruEntry *diskEntry
+		for k, e := range c.entries {
+			if k == keep {
+				continue
+			}
+			if lruEntry == nil || e.lastUse < lruEntry.lastUse {
+				lru, lruEntry = k, e
+			}
+		}
+		if lruEntry == nil {
+			break
+		}
+		delete(c.entries, lru)
+		c.size -= lruEntry.size
+		c.evictions.Add(1)
+		c.evictedBytes.Add(lruEntry.size)
+		victims = append(victims, lru)
+	}
+	return victims
+}
+
+// drop removes key from the index (the file is already gone or about
+// to be).
+func (c *DiskCache) drop(key digest.Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		delete(c.entries, key)
+		c.size -= e.size
+	}
+}
+
+// Len returns the number of indexed entries.
+func (c *DiskCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Size returns the total indexed entry bytes.
+func (c *DiskCache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Stats reports the disk tier's counters.
+func (c *DiskCache) Stats() Stats {
+	return Stats{
+		LocalHits:   c.hits.Load(),
+		LocalMisses: c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		EvictedByte: c.evictedBytes.Load(),
+		Errors:      c.errors.Load(),
+	}
+}
+
+func encodeEntry(val []byte) []byte {
+	hdr := entryMagic + string(digest.FromBytes(val)) + "\n"
+	return append([]byte(hdr), val...)
+}
+
+func decodeEntry(raw []byte) ([]byte, error) {
+	s := string(raw)
+	rest, ok := strings.CutPrefix(s, entryMagic)
+	if !ok {
+		return nil, fmt.Errorf("actioncache: entry missing magic")
+	}
+	nl := strings.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("actioncache: entry header truncated")
+	}
+	want, err := digest.Parse(rest[:nl])
+	if err != nil {
+		return nil, fmt.Errorf("actioncache: entry header: %w", err)
+	}
+	val := []byte(rest[nl+1:])
+	if !want.Verify(val) {
+		return nil, fmt.Errorf("actioncache: entry payload corrupt (want %s)", want.Short())
+	}
+	return val, nil
+}

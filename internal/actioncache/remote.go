@@ -1,0 +1,122 @@
+package actioncache
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/distrib"
+	"comtainer/internal/oci"
+)
+
+// DefaultRemoteRepo is the registry repository RemoteCache uses when
+// none is configured.
+const DefaultRemoteRepo = "comtainer-actions"
+
+// MediaTypeEntry is the media type of an action-cache entry blob
+// stored in a registry.
+const MediaTypeEntry = "application/vnd.comtainer.action-cache.entry.v1"
+
+// RemoteCache stores entries in a comtainer registry via the distrib
+// client, so a fleet of system-side rebuilders shares one warm cache.
+// Each entry becomes a blob referenced by a one-layer manifest tagged
+// "ac-<key hex>" — plain OCI distribution primitives, nothing
+// registry-side to add. Transfers inherit the client's retry,
+// worker-pool and singleflight behavior. Safe for concurrent use.
+type RemoteCache struct {
+	client *distrib.Client
+	repo   string
+
+	hits, misses, errors atomic.Int64
+}
+
+// NewRemoteCache returns a remote tier talking to the registry at
+// base (e.g. "http://127.0.0.1:5000"), storing entries under repo
+// (DefaultRemoteRepo if empty).
+func NewRemoteCache(base, repo string) *RemoteCache {
+	if repo == "" {
+		repo = DefaultRemoteRepo
+	}
+	return &RemoteCache{client: distrib.NewClient(base), repo: repo}
+}
+
+// NewRemoteCacheClient is NewRemoteCache over an existing client
+// (custom workers, retries, transport).
+func NewRemoteCacheClient(client *distrib.Client, repo string) *RemoteCache {
+	if repo == "" {
+		repo = DefaultRemoteRepo
+	}
+	return &RemoteCache{client: client, repo: repo}
+}
+
+func (c *RemoteCache) tag(key digest.Digest) string { return "ac-" + key.Hex() }
+
+// Get fetches the entry tagged for key. A 404 on the manifest is a
+// clean miss; any other failure is a tier error.
+func (c *RemoteCache) Get(key digest.Digest) ([]byte, bool, error) {
+	body, _, _, err := c.client.FetchManifest(c.repo, c.tag(key))
+	if err != nil {
+		if distrib.IsNotFound(err) {
+			c.misses.Add(1)
+			return nil, false, nil
+		}
+		c.errors.Add(1)
+		return nil, false, err
+	}
+	var m oci.Manifest
+	if err := json.Unmarshal(body, &m); err != nil || len(m.Layers) != 1 {
+		c.errors.Add(1)
+		return nil, false, fmt.Errorf("actioncache: remote entry %s has malformed manifest", key.Short())
+	}
+	mem := oci.NewStore()
+	if err := c.client.FetchBlob(mem, c.repo, m.Layers[0].Digest); err != nil {
+		c.errors.Add(1)
+		return nil, false, fmt.Errorf("actioncache: fetching remote entry %s: %w", key.Short(), err)
+	}
+	val, err := mem.Get(m.Layers[0].Digest)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, false, err
+	}
+	c.hits.Add(1)
+	return val, true, nil
+}
+
+// Put publishes val as a blob plus a tagged one-layer manifest. The
+// blob is pushed before the manifest so the registry's referential
+// check always passes.
+func (c *RemoteCache) Put(key digest.Digest, val []byte) error {
+	mem := oci.NewStore()
+	vd := mem.Put(val)
+	manifest := oci.Manifest{
+		SchemaVersion: 2,
+		MediaType:     oci.MediaTypeManifest,
+		Layers: []oci.Descriptor{{
+			MediaType: MediaTypeEntry,
+			Digest:    vd,
+			Size:      int64(len(val)),
+		}},
+		Annotations: map[string]string{"vnd.comtainer.action-cache.key": string(key)},
+	}
+	mb, err := json.Marshal(manifest)
+	if err != nil {
+		return fmt.Errorf("actioncache: marshaling remote manifest: %w", err)
+	}
+	md := mem.Put(mb)
+	desc := oci.Descriptor{MediaType: oci.MediaTypeManifest, Digest: md, Size: int64(len(mb))}
+	if err := c.client.PushImage(mem, desc, c.repo, c.tag(key)); err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("actioncache: pushing remote entry %s: %w", key.Short(), err)
+	}
+	return nil
+}
+
+// Stats reports the remote tier's counters.
+func (c *RemoteCache) Stats() Stats {
+	return Stats{
+		RemoteHits:   c.hits.Load(),
+		RemoteMisses: c.misses.Load(),
+		Errors:       c.errors.Load(),
+	}
+}

@@ -1,0 +1,65 @@
+package actioncache
+
+import (
+	"sync/atomic"
+
+	"comtainer/internal/digest"
+)
+
+// Tiered stacks a fast local tier in front of a shared remote tier.
+// Gets try local first and push remote hits through into the local
+// tier; Puts write local synchronously and treat remote failures as
+// soft (counted, not fatal) so an unreachable registry degrades the
+// cache instead of the build. Either tier may be nil.
+type Tiered struct {
+	local  Cache
+	remote Cache
+
+	fills, errors atomic.Int64
+}
+
+// NewTiered combines local and remote. If only one is non-nil it is
+// returned directly (no wrapper overhead); if both are nil, nil.
+func NewTiered(local, remote Cache) Cache {
+	switch {
+	case local == nil && remote == nil:
+		return nil
+	case remote == nil:
+		return local
+	case local == nil:
+		return remote
+	}
+	return &Tiered{local: local, remote: remote}
+}
+
+// Get checks local, then remote; a remote hit back-fills local.
+func (t *Tiered) Get(key digest.Digest) ([]byte, bool, error) {
+	if val, ok, err := t.local.Get(key); err == nil && ok {
+		return val, true, nil
+	}
+	val, ok, err := t.remote.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if perr := t.local.Put(key, val); perr == nil {
+		t.fills.Add(1)
+	} else {
+		t.errors.Add(1)
+	}
+	return val, true, nil
+}
+
+// Put writes both tiers; only a local failure is an error.
+func (t *Tiered) Put(key digest.Digest, val []byte) error {
+	lerr := t.local.Put(key, val)
+	if rerr := t.remote.Put(key, val); rerr != nil {
+		t.errors.Add(1)
+	}
+	return lerr
+}
+
+// Stats merges both tiers' counters with the push-through counters.
+func (t *Tiered) Stats() Stats {
+	s := Stats{RemoteFills: t.fills.Load(), Errors: t.errors.Load()}
+	return s.Add(t.local.Stats()).Add(t.remote.Stats())
+}

@@ -335,7 +335,9 @@ func (b *Builder) exec(state *stageState, inst Instruction) error {
 			dir = path.Join(state.cwd, dir)
 		}
 		state.cwd = fsim.Clean(dir)
-		state.fs.MkdirAll(state.cwd, 0o755)
+		if err := state.fs.MkdirAll(state.cwd, 0o755); err != nil {
+			return fmt.Errorf("WORKDIR %s: %w", dir, err)
+		}
 		return nil
 	case "LABEL":
 		if state.config.Labels == nil {
@@ -468,7 +470,9 @@ func (b *Builder) execCommand(state *stageState, argv []string) error {
 			if a == "-p" {
 				continue
 			}
-			state.fs.MkdirAll(abs(a), 0o755)
+			if err := state.fs.MkdirAll(abs(a), 0o755); err != nil {
+				return fmt.Errorf("mkdir: %w", err)
+			}
 		}
 		return nil
 	case "rm":

@@ -12,6 +12,7 @@ import (
 
 	"sort"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/core/adapter"
 	"comtainer/internal/core/cache"
 	"comtainer/internal/core/model"
@@ -65,6 +66,12 @@ type RebuildOptions struct {
 	// ExtraFiles are placed into the rebuild container before execution
 	// (e.g. the PGO profile collected from a trial run).
 	ExtraFiles map[string][]byte
+	// Memo, when set, replays unchanged build commands from the action
+	// cache instead of re-executing them.
+	Memo *actioncache.Memoizer
+	// Workers bounds concurrent command execution; 0 keeps the default
+	// of min(GOMAXPROCS, 8).
+	Workers int
 }
 
 // Rebuild performs coMtainer-rebuild on the extended image derived from
@@ -137,7 +144,7 @@ func Rebuild(repo *oci.Repository, distTag string, opts RebuildOptions) (oci.Des
 		rebuildFS.WriteFile(p, data, 0o644)
 	}
 
-	if err := executeGraph(ctx.Models.Graph, rebuildFS, opts.Registry); err != nil {
+	if err := executeGraph(ctx.Models.Graph, rebuildFS, opts.Registry, execOptions{workers: opts.Workers, memo: opts.Memo}); err != nil {
 		return oci.Descriptor{}, report, err
 	}
 

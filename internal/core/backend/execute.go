@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/core/model"
 	"comtainer/internal/fsim"
 	"comtainer/internal/toolchain"
@@ -51,13 +52,37 @@ func commandDAG(g *model.BuildGraph) ([]*command, error) {
 	return out, nil
 }
 
+// execOptions tunes executeGraph.
+type execOptions struct {
+	// workers bounds concurrent commands; <= 0 selects
+	// min(GOMAXPROCS, 8), the old hardcoded cap.
+	workers int
+	// memo, when set, replays commands from the action cache.
+	memo *actioncache.Memoizer
+}
+
+func (o execOptions) workerCount(cmds int) int {
+	w := o.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w > cmds {
+		w = cmds
+	}
+	return w
+}
+
 // executeGraph re-runs every product-generating command of the build
-// graph. Commands whose dependencies are satisfied run concurrently — the
-// rebuild has the whole HPC node to itself, and independent translation
-// units compile in parallel exactly as `make -j` would drive them.
-// Outputs are disjoint per command, so the resulting file system state is
-// deterministic regardless of scheduling.
-func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry) error {
+// graph. Scheduling is counter-based: each command tracks how many of
+// its dependencies are still outstanding and joins the ready queue the
+// moment the count hits zero, so a long-pole command never holds back
+// unrelated work the way the previous level-synchronized front did.
+// Outputs are disjoint per command, so the resulting file system state
+// is deterministic regardless of scheduling order.
+func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry, opts execOptions) error {
 	if _, err := g.Topo(); err != nil {
 		return err
 	}
@@ -65,67 +90,106 @@ func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry) err
 	if err != nil {
 		return err
 	}
-	pending := make(map[int]*command, len(cmds))
+	if len(cmds) == 0 {
+		return nil
+	}
+
+	// Invert the dependency edges into indegree counters + dependents
+	// lists; both are only touched under mu after this.
+	indeg := make(map[int]int, len(cmds))
+	dependents := make(map[int][]*command)
 	for _, c := range cmds {
-		pending[c.seq] = c
-	}
-	done := make(map[int]bool, len(cmds))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
+		indeg[c.seq] = len(c.deps)
+		for dep := range c.deps {
+			dependents[dep] = append(dependents[dep], c)
+		}
 	}
 
-	for len(pending) > 0 {
-		// Collect the ready front.
-		var ready []*command
-		for _, c := range pending {
-			ok := true
-			for dep := range c.deps {
-				if !done[dep] {
-					ok = false
-					break
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     []*command
+		running   int
+		remaining = len(cmds)
+		firstErr  error
+	)
+	for _, c := range cmds {
+		if indeg[c.seq] == 0 {
+			ready = append(ready, c)
+		}
+	}
+
+	run := func(c *command) error {
+		runner := toolchain.NewRunner(fs, reg)
+		runner.Memo = opts.memo
+		if err := fs.MkdirAll(c.cwd, 0o755); err != nil {
+			return fmt.Errorf("backend: creating cwd for %q: %w", strings.Join(c.argv, " "), err)
+		}
+		runner.Cwd = fsim.Clean(c.cwd)
+		if err := runner.Run(c.argv); err != nil {
+			return fmt.Errorf("backend: re-executing %q: %w", strings.Join(c.argv, " "), err)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.workerCount(len(cmds)); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && running > 0 && remaining > 0 && firstErr == nil {
+					cond.Wait()
 				}
-			}
-			if ok {
-				ready = append(ready, c)
-			}
-		}
-		if len(ready) == 0 {
-			return fmt.Errorf("backend: build graph commands deadlocked (%d unrunnable)", len(pending))
-		}
-		sort.Slice(ready, func(i, j int) bool { return ready[i].seq < ready[j].seq })
-
-		// Run the front with a bounded worker pool.
-		sem := make(chan struct{}, workers)
-		errMu := sync.Mutex{}
-		var firstErr error
-		var wg sync.WaitGroup
-		for _, c := range ready {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(c *command) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				runner := toolchain.NewRunner(fs, reg)
-				fs.MkdirAll(c.cwd, 0o755)
-				runner.Cwd = fsim.Clean(c.cwd)
-				if err := runner.Run(c.argv); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("backend: re-executing %q: %w", strings.Join(c.argv, " "), err)
+				if firstErr != nil || remaining == 0 || len(ready) == 0 {
+					// Done, failed, or deadlocked (ready empty with
+					// nothing running) — either way this worker is
+					// finished; wake the rest so they exit too.
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				// Pop the lowest seq for a stable, log-friendly order.
+				idx := 0
+				for i, c := range ready {
+					if c.seq < ready[idx].seq {
+						idx = i
 					}
-					errMu.Unlock()
 				}
-			}(c)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return firstErr
-		}
-		for _, c := range ready {
-			done[c.seq] = true
-			delete(pending, c.seq)
-		}
+				c := ready[idx]
+				ready = append(ready[:idx], ready[idx+1:]...)
+				running++
+				mu.Unlock()
+
+				err := run(c)
+
+				mu.Lock()
+				running--
+				remaining--
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					for _, d := range dependents[c.seq] {
+						indeg[d.seq]--
+						if indeg[d.seq] == 0 {
+							ready = append(ready, d)
+						}
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if remaining > 0 {
+		return fmt.Errorf("backend: build graph commands deadlocked (%d unrunnable)", remaining)
 	}
 	return nil
 }

@@ -1,0 +1,186 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"comtainer/internal/actioncache"
+	"comtainer/internal/core/model"
+	"comtainer/internal/digest"
+	"comtainer/internal/fsim"
+	"comtainer/internal/toolchain"
+)
+
+// countingCache wraps a Cache and counts Puts per key, to prove the
+// singleflight layer never fills the same entry twice.
+type countingCache struct {
+	inner actioncache.Cache
+	mu    sync.Mutex
+	puts  map[digest.Digest]int
+}
+
+func newCountingCache(inner actioncache.Cache) *countingCache {
+	return &countingCache{inner: inner, puts: map[digest.Digest]int{}}
+}
+
+func (c *countingCache) Get(key digest.Digest) ([]byte, bool, error) { return c.inner.Get(key) }
+
+func (c *countingCache) Put(key digest.Digest, val []byte) error {
+	c.mu.Lock()
+	c.puts[key]++
+	c.mu.Unlock()
+	return c.inner.Put(key, val)
+}
+
+func (c *countingCache) Stats() actioncache.Stats { return c.inner.Stats() }
+
+func (c *countingCache) maxPuts() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := 0
+	for _, n := range c.puts {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// stressGraph builds a wide multi-level DAG: `groups` libraries of
+// `per` compiles each, every source compiled by `dup` commands with
+// IDENTICAL argv (distinct seqs — the shape that exercises
+// singleflight), an archive per group, and one link over all archives.
+func stressGraph(groups, per, dup int) (*model.BuildGraph, *fsim.FS) {
+	g := model.NewBuildGraph()
+	fs := fsim.New()
+	seq := 0
+	linkArgv := []string{"gcc", "-o", "/w/app"}
+	var linkDeps []model.NodeID
+	for gi := 0; gi < groups; gi++ {
+		arArgv := []string{"ar", "rcs", fmt.Sprintf("/w/libg%d.a", gi)}
+		var arDeps []model.NodeID
+		for pi := 0; pi < per; pi++ {
+			src := fmt.Sprintf("/w/g%d_u%02d.c", gi, pi)
+			obj := fmt.Sprintf("/w/g%d_u%02d.o", gi, pi)
+			fs.WriteFile(src, []byte(fmt.Sprintf("int g%d_f%d(void){return %d;}\n", gi, pi, pi)), 0o644)
+			s := g.AddSource(src)
+			argv := []string{"gcc", "-O2", "-c", src, "-o", obj}
+			// dup distinct commands (distinct seqs, distinct node paths)
+			// with IDENTICAL argv, all writing obj with identical
+			// content — the shape singleflight must absorb. The graph
+			// registers the duplicates under sentinel paths because
+			// nodes dedup by path.
+			for d := 0; d < dup; d++ {
+				nodePath := obj
+				if d > 0 {
+					nodePath = fmt.Sprintf("%s.dup%d", obj, d)
+				}
+				n := g.AddProduct(nodePath, model.KindObject,
+					&model.CompilationModel{Kind: "cc", Argv: argv, Cwd: "/w", Seq: seq},
+					[]model.NodeID{s.ID})
+				seq++
+				arDeps = append(arDeps, n.ID)
+			}
+			arArgv = append(arArgv, obj)
+		}
+		arNode := g.AddProduct(fmt.Sprintf("/w/libg%d.a", gi), model.KindArchive,
+			&model.CompilationModel{Kind: "ar", Argv: arArgv, Cwd: "/w", Seq: seq},
+			arDeps)
+		seq++
+		linkArgv = append(linkArgv, fmt.Sprintf("/w/libg%d.a", gi))
+		linkDeps = append(linkDeps, arNode.ID)
+	}
+	g.AddProduct("/w/app", model.KindExecutable,
+		&model.CompilationModel{Kind: "cc", Argv: linkArgv, Cwd: "/w", Seq: seq},
+		linkDeps)
+	return g, fs
+}
+
+// TestExecuteGraphStressWithActionCache drives the counter-based
+// scheduler over a wide DAG with duplicate-argv commands and the
+// action cache on, under -race (via scripts/check.sh): the final fsim
+// state must be deterministic, no cache entry may be filled twice, and
+// a second run over the same cache must replay everything.
+func TestExecuteGraphStressWithActionCache(t *testing.T) {
+	reg := toolchain.GenericRegistry(toolchain.ISAx86)
+	disk, err := actioncache.NewDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := newCountingCache(disk)
+
+	run := func() (*fsim.FS, actioncache.Stats) {
+		g, fs := stressGraph(8, 6, 3) // 144 compiles (48 distinct), 8 archives, 1 link
+		memo := actioncache.NewMemoizer(counting)
+		if err := executeGraph(g, fs, reg, execOptions{workers: 16, memo: memo}); err != nil {
+			t.Fatal(err)
+		}
+		return fs, memo.Stats()
+	}
+
+	cold, coldStats := run()
+	if got := counting.maxPuts(); got > 1 {
+		t.Errorf("duplicate cache fill under concurrency: a key was Put %d times", got)
+	}
+	// 48 distinct compiles + 8 archives + 1 link = 57 distinct actions;
+	// each must execute exactly once. The 96 duplicate-argv copies must
+	// all be absorbed — either as in-flight dedups (when they overlap
+	// the executing copy) or as cache hits (when they start later).
+	if coldStats.Misses != 57 {
+		t.Errorf("cold run executed %d actions, want 57", coldStats.Misses)
+	}
+	if got := coldStats.Hits + coldStats.Deduped; got != 96 {
+		t.Errorf("duplicates absorbed = %d (hits %d + deduped %d), want 96",
+			got, coldStats.Hits, coldStats.Deduped)
+	}
+
+	warm, warmStats := run()
+	if !cold.Equal(warm) {
+		t.Error("cold and warm runs produced different file systems")
+	}
+	if warmStats.Misses != 0 {
+		t.Errorf("warm run executed %d commands, want 0", warmStats.Misses)
+	}
+	if got := counting.maxPuts(); got > 1 {
+		t.Errorf("warm run refilled a cache entry: max puts = %d", got)
+	}
+
+	// Determinism across repeated warm runs too.
+	warm2, _ := run()
+	if !warm.Equal(warm2) {
+		t.Error("repeated warm runs diverged")
+	}
+}
+
+// TestExecuteGraphWorkerCap pins workers to 1: the scheduler must
+// still complete the whole DAG (no self-deadlock waiting for
+// concurrency that cannot happen).
+func TestExecuteGraphWorkerCap(t *testing.T) {
+	g, fs := wideGraph(12)
+	reg := toolchain.GenericRegistry(toolchain.ISAx86)
+	if err := executeGraph(g, fs, reg, execOptions{workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/w/app"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecuteGraphMkdirAllErrorPropagates covers the former silent
+// failure: a command whose cwd collides with a regular file must fail
+// the rebuild, not silently replace the file with a directory.
+func TestExecuteGraphMkdirAllErrorPropagates(t *testing.T) {
+	g := model.NewBuildGraph()
+	fs := fsim.New()
+	fs.WriteFile("/w", []byte("a file where the cwd should be"), 0o644)
+	fs.WriteFile("/src.c", []byte("int main(void){return 0;}\n"), 0o644)
+	s := g.AddSource("/src.c")
+	g.AddProduct("/x.o", model.KindObject,
+		&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-c", "/src.c", "-o", "/x.o"}, Cwd: "/w", Seq: 0},
+		[]model.NodeID{s.ID})
+	err := executeGraph(g, fs, toolchain.GenericRegistry(toolchain.ISAx86), execOptions{})
+	if err == nil {
+		t.Fatal("cwd over a regular file did not fail")
+	}
+}

@@ -38,7 +38,7 @@ func wideGraph(n int) (*model.BuildGraph, *fsim.FS) {
 func TestExecuteGraphParallelWideFanOut(t *testing.T) {
 	g, fs := wideGraph(40)
 	reg := toolchain.GenericRegistry(toolchain.ISAx86)
-	if err := executeGraph(g, fs, reg); err != nil {
+	if err := executeGraph(g, fs, reg, execOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := fs.ReadFile("/w/app")
@@ -58,7 +58,7 @@ func TestExecuteGraphDeterministicAcrossRuns(t *testing.T) {
 	reg := toolchain.GenericRegistry(toolchain.ISAx86)
 	run := func() *fsim.FS {
 		g, fs := wideGraph(24)
-		if err := executeGraph(g, fs, reg); err != nil {
+		if err := executeGraph(g, fs, reg, execOptions{}); err != nil {
 			t.Fatal(err)
 		}
 		return fs
@@ -75,7 +75,7 @@ func TestExecuteGraphPropagatesErrors(t *testing.T) {
 	g.AddProduct("/w/x.o", model.KindObject,
 		&model.CompilationModel{Kind: "cc", Argv: []string{"gcc", "-c", "/w/missing.c", "-o", "/w/x.o"}, Cwd: "/w", Seq: 0},
 		[]model.NodeID{s.ID})
-	err := executeGraph(g, fsim.New(), toolchain.GenericRegistry(toolchain.ISAx86))
+	err := executeGraph(g, fsim.New(), toolchain.GenericRegistry(toolchain.ISAx86), execOptions{})
 	if err == nil || !strings.Contains(err.Error(), "no such file") {
 		t.Errorf("err = %v", err)
 	}

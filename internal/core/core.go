@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/chrun"
 	"comtainer/internal/containerfile"
 	"comtainer/internal/core/adapter"
@@ -183,6 +184,13 @@ func (u *UserSide) BuildContainerfile(name, cfText string, ctx *fsim.FS, comtain
 type SystemSide struct {
 	Repo   *oci.Repository
 	System *sysprofile.System
+
+	// ActionMemo, when set, memoizes rebuild toolchain commands through
+	// the action cache, so repeat adaptations of the same image for the
+	// same target replay from cache.
+	ActionMemo *actioncache.Memoizer
+	// RebuildWorkers bounds rebuild concurrency (0 = default).
+	RebuildWorkers int
 }
 
 // NewSystemSide creates the system-side environment of a cluster.
@@ -219,6 +227,8 @@ func (s *SystemSide) RebuildWith(distTag string, adapters []adapter.Adapter, ext
 		Adapters:   adapters,
 		Registry:   reg,
 		ExtraFiles: extra,
+		Memo:       s.ActionMemo,
+		Workers:    s.RebuildWorkers,
 	})
 }
 
@@ -251,6 +261,8 @@ func (s *SystemSide) AdaptLLVM(distTag string, adapters []adapter.Adapter) (stri
 		Adapters:  adapters,
 		Registry:  s.System.LLVMRegistry(),
 		SysenvTag: sysprofile.TagSysenvLLVM,
+		Memo:      s.ActionMemo,
+		Workers:   s.RebuildWorkers,
 	})
 	if err != nil {
 		return "", err

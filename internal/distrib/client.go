@@ -112,6 +112,15 @@ func statusError(resp *http.Response) error {
 	}
 }
 
+// IsNotFound reports whether err is a definitive 404 from the
+// registry — the reference does not exist, as opposed to a transport
+// or server failure. Callers use it to tell "cache miss" from "cache
+// broken".
+func IsNotFound(err error) bool {
+	var he *httpStatusError
+	return errors.As(err, &he) && he.Code == http.StatusNotFound
+}
+
 // transient reports whether err is worth retrying: server-side errors
 // and transport/short-read failures are, client errors (4xx) are not.
 func transient(err error) bool {
@@ -480,6 +489,13 @@ func (c *Client) FetchManifest(name, ref string) ([]byte, digest.Digest, string,
 		return nil, "", "", fmt.Errorf("distrib: manifest %s served wrong content %s", want.Short(), d.Short())
 	}
 	return body, d, mediaType, nil
+}
+
+// FetchBlob downloads blob d from repository name into dst, verifying
+// the digest as it streams. Concurrent fetches of the same digest
+// collapse into one transfer.
+func (c *Client) FetchBlob(dst Store, name string, d digest.Digest) error {
+	return c.fetchBlob(dst, name, d)
 }
 
 // fetchBlob downloads blob rd from repository name into dst,

@@ -173,19 +173,26 @@ func (f *FS) WriteFile(p string, data []byte, mode fs.FileMode) {
 	f.files[p] = &File{Path: p, Type: TypeRegular, Mode: mode.Perm(), Data: append([]byte(nil), data...)}
 }
 
-// MkdirAll creates directory p and any missing parents.
-func (f *FS) MkdirAll(p string, mode fs.FileMode) {
+// MkdirAll creates directory p and any missing parents. It fails if p
+// or any ancestor already exists as a non-directory, like os.MkdirAll
+// (the previous behavior silently replaced such entries).
+func (f *FS) MkdirAll(p string, mode fs.FileMode) error {
 	p = Clean(p)
 	if p == "/" {
-		return
+		return nil
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.mkParentsLocked(p)
-	if existing, ok := f.files[p]; ok && existing.Type == TypeDir {
-		return
+	for q := p; q != "/"; q = path.Dir(q) {
+		if existing, ok := f.files[q]; ok && existing.Type != TypeDir {
+			return fmt.Errorf("fsim: mkdir %s: %s exists as a %s, not a directory", p, q, existing.Type)
+		}
 	}
-	f.files[p] = &File{Path: p, Type: TypeDir, Mode: mode.Perm()}
+	f.mkParentsLocked(p)
+	if _, ok := f.files[p]; !ok {
+		f.files[p] = &File{Path: p, Type: TypeDir, Mode: mode.Perm()}
+	}
+	return nil
 }
 
 // Symlink creates a symlink at p pointing at target, creating parents.

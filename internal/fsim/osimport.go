@@ -36,7 +36,9 @@ func ImportDir(dir string) (*FS, error) {
 		}
 		switch {
 		case d.IsDir():
-			out.MkdirAll(target, info.Mode().Perm())
+			if err := out.MkdirAll(target, info.Mode().Perm()); err != nil {
+				return err
+			}
 		case info.Mode()&fs.ModeSymlink != 0:
 			link, err := os.Readlink(p)
 			if err != nil {

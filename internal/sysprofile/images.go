@@ -100,7 +100,9 @@ func PopulateUserSide(repo *oci.Repository, isa string) error {
 	}
 	// The hijacker home: marks this as an Env-derived container and hosts
 	// the raw build log and cache I/O mount point.
-	env.MkdirAll("/.comtainer", 0o755)
+	if err := env.MkdirAll("/.comtainer", 0o755); err != nil {
+		return err
+	}
 	env.WriteFile("/.comtainer/hijacker", []byte("#!comtainer-hijacker\n"), 0o755)
 	if err := writeImage(repo, env, isa, TagEnv, containerfile.RoleEnv); err != nil {
 		return err
@@ -143,7 +145,9 @@ func PopulateSystemSide(repo *oci.Repository, s *System) error {
 			return err
 		}
 	}
-	sysenv.MkdirAll("/.comtainer", 0o755)
+	if err := sysenv.MkdirAll("/.comtainer", 0o755); err != nil {
+		return err
+	}
 	if err := writeImage(repo, sysenv, s.ISA, TagSysenv, containerfile.RoleSysenv); err != nil {
 		return err
 	}
@@ -152,7 +156,9 @@ func PopulateSystemSide(repo *oci.Repository, s *System) error {
 	if err != nil {
 		return err
 	}
-	rebase.MkdirAll("/.comtainer", 0o755)
+	if err := rebase.MkdirAll("/.comtainer", 0o755); err != nil {
+		return err
+	}
 	if err := writeImage(repo, rebase, s.ISA, TagRebase, containerfile.RoleRebase); err != nil {
 		return err
 	}
@@ -195,6 +201,8 @@ func PopulateSystemSide(repo *oci.Repository, s *System) error {
 			return err
 		}
 	}
-	llvmEnv.MkdirAll("/.comtainer", 0o755)
+	if err := llvmEnv.MkdirAll("/.comtainer", 0o755); err != nil {
+		return err
+	}
 	return writeImage(repo, llvmEnv, s.ISA, TagSysenvLLVM, containerfile.RoleSysenv)
 }

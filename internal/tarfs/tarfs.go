@@ -86,7 +86,9 @@ func Unmarshal(data []byte) (*fsim.FS, error) {
 		mode := hdr.FileInfo().Mode().Perm()
 		switch hdr.Typeflag {
 		case tar.TypeDir:
-			out.MkdirAll(p, mode)
+			if err := out.MkdirAll(p, mode); err != nil {
+				return nil, fmt.Errorf("tarfs: %w", err)
+			}
 		case tar.TypeSymlink:
 			out.Symlink(hdr.Linkname, p)
 		case tar.TypeReg:

@@ -45,11 +45,11 @@ func (r *Runner) runBolt(argv []string) error {
 	if out == "" {
 		out = input
 	}
-	profData, err := r.FS.ReadFile(r.abs(profile))
+	profData, err := r.readFile(profile)
 	if err != nil {
 		return fmt.Errorf("toolchain: %s: cannot open profile %s", BoltTool, profile)
 	}
-	binData, err := r.FS.ReadFile(r.abs(input))
+	binData, err := r.readFile(input)
 	if err != nil {
 		return fmt.Errorf("toolchain: %s: %s: no such file", BoltTool, input)
 	}
@@ -67,6 +67,6 @@ func (r *Runner) runBolt(argv []string) error {
 	}
 	// Layout optimization is cheap relative to recompilation, but not free.
 	r.Stats.CompileUnits += float64(len(art.Sources)) * 10
-	r.FS.WriteFile(r.abs(out), optimized.Encode(), 0o755)
+	r.writeFile(out, optimized.Encode(), 0o755)
 	return nil
 }

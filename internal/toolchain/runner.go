@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"comtainer/internal/actioncache"
 	"comtainer/internal/cclang"
 	"comtainer/internal/digest"
 	"comtainer/internal/fsim"
@@ -37,6 +38,17 @@ type Runner struct {
 	Cwd      string
 	Registry *Registry
 	Stats    Stats
+
+	// Memo, when set, memoizes each command through the action cache:
+	// a previously seen command whose inputs are unchanged replays its
+	// recorded outputs instead of executing. Commands are still
+	// counted in Stats.Commands, but replayed ones accrue no compile
+	// cost — that is the point.
+	Memo *actioncache.Memoizer
+
+	// rec is the recorder of the action currently executing, nil when
+	// uncached. The FS helper methods report through it.
+	rec *actioncache.Recorder
 }
 
 // NewRunner returns a Runner rooted at / on fsys.
@@ -139,7 +151,8 @@ func splitResponse(s string) ([]string, error) {
 	return out, nil
 }
 
-// Run executes one command.
+// Run executes one command, replaying it from the action cache when a
+// Memo is attached and the command's inputs are unchanged.
 func (r *Runner) Run(argv []string) error {
 	if len(argv) == 0 {
 		return fmt.Errorf("toolchain: empty command")
@@ -151,6 +164,27 @@ func (r *Runner) Run(argv []string) error {
 	argv = expanded
 	r.Stats.Commands++
 	base := path.Base(argv[0])
+	if r.Memo != nil {
+		if id, ok := r.actionKey(argv, base); ok {
+			res, replay, err := r.Memo.Do(id, runnerState{r}, func(rec *actioncache.Recorder) error {
+				r.rec = rec
+				defer func() { r.rec = nil }()
+				return r.dispatch(argv, base)
+			})
+			if err != nil {
+				return err
+			}
+			if replay {
+				r.applyResult(res)
+			}
+			return nil
+		}
+	}
+	return r.dispatch(argv, base)
+}
+
+// dispatch routes one expanded command to its tool implementation.
+func (r *Runner) dispatch(argv []string, base string) error {
 	switch {
 	case cclang.IsCompilerTool(base):
 		return r.runCompiler(argv)
@@ -162,7 +196,7 @@ func (r *Runner) Run(argv []string) error {
 		if len(argv) < 2 {
 			return fmt.Errorf("toolchain: ranlib needs an archive argument")
 		}
-		if !r.FS.Exists(r.abs(argv[1])) {
+		if !r.exists(argv[1]) {
 			return fmt.Errorf("toolchain: ranlib: %s: no such file", argv[1])
 		}
 		return nil
@@ -285,7 +319,7 @@ func (r *Runner) runCompiler(argv []string) error {
 // at the source's path) to an object artifact.
 func (r *Runner) makeObject(cmd *cclang.Command, tc *Toolchain, march, mtune, src string) (*Artifact, error) {
 	srcAbs := r.abs(src)
-	data, err := r.FS.ReadFile(srcAbs)
+	data, err := r.readFile(srcAbs)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: %s: no such file or directory", src)
 	}
@@ -315,10 +349,10 @@ func (r *Runner) makeObject(cmd *cclang.Command, tc *Toolchain, march, mtune, sr
 		if profPath == "" {
 			resolved = r.abs("default.profdata")
 		}
-		if !r.FS.Exists(resolved) {
+		if !r.exists(resolved) {
 			return nil, fmt.Errorf("toolchain: -fprofile-use: %s: cannot open profile data", resolved)
 		}
-		prof, _ := r.FS.ReadFile(resolved)
+		prof, _ := r.readFile(resolved)
 		profPath = string(digest.FromBytes(prof))
 	}
 	loc := countLines(data)
@@ -375,14 +409,14 @@ func (r *Runner) compileObjects(cmd *cclang.Command, tc *Toolchain, march, mtune
 		if hasOut {
 			out = explicit
 		}
-		r.FS.WriteFile(r.abs(out), art.Encode(), 0o644)
+		r.writeFile(out, art.Encode(), 0o644)
 	}
 	return nil
 }
 
 // loadArtifact reads and decodes an artifact file.
 func (r *Runner) loadArtifact(p string) (*Artifact, error) {
-	data, err := r.FS.ReadFile(r.abs(p))
+	data, err := r.readFile(p)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: %s: no such file or directory", p)
 	}
@@ -400,11 +434,11 @@ func (r *Runner) findLibrary(name string, libDirs []string) (string, *Artifact, 
 	for _, d := range dirs {
 		for _, cand := range []string{"lib" + name + ".so", "lib" + name + ".a"} {
 			p := fsim.Clean(path.Join(r.abs(d), cand))
-			if !r.FS.Exists(p) {
+			if !r.exists(p) {
 				continue
 			}
 			// Follow symlinked .so names (libm.so -> libm.so.6).
-			resolved, err := r.FS.ResolveSymlink(p)
+			resolved, err := r.resolveSymlink(p)
 			if err != nil {
 				return "", nil, err
 			}
@@ -519,7 +553,7 @@ func (r *Runner) link(cmd *cclang.Command, tc *Toolchain, march, mtune string) e
 		implicit = append(implicit, "/usr/lib/libgfortran.so")
 	}
 	for _, link := range implicit {
-		p, err := r.FS.ResolveSymlink(link)
+		p, err := r.resolveSymlink(link)
 		if err != nil {
 			continue
 		}
@@ -609,7 +643,7 @@ func (r *Runner) link(cmd *cclang.Command, tc *Toolchain, march, mtune string) e
 		r.Stats.LTOLinks++
 		var loc float64
 		for _, s := range out.Sources {
-			if data, err := r.FS.ReadFile(s); err == nil {
+			if data, err := r.readFile(s); err == nil {
 				loc += float64(countLines(data))
 			}
 		}
@@ -621,7 +655,7 @@ func (r *Runner) link(cmd *cclang.Command, tc *Toolchain, march, mtune string) e
 		dest = o
 	}
 	out.Name = path.Base(dest)
-	r.FS.WriteFile(r.abs(dest), out.Encode(), 0o755)
+	r.writeFile(dest, out.Encode(), 0o755)
 	return nil
 }
 
@@ -678,6 +712,6 @@ func (r *Runner) runArchiver(argv []string) error {
 	}
 	merged.LTOObjects = allLTO
 	sort.Strings(merged.Sources)
-	r.FS.WriteFile(r.abs(ac.Archive), merged.Encode(), 0o644)
+	r.writeFile(ac.Archive, merged.Encode(), 0o644)
 	return nil
 }

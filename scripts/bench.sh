@@ -1,0 +1,47 @@
+#!/bin/sh
+# Benchmark harness: runs the rebuild (action-cache) benchmark plus the
+# paper's Table benchmarks with -benchmem and writes a timestamped JSON
+# summary next to the raw output. Run from anywhere; operates on the
+# repository root.
+#
+#   BENCH='BenchmarkRebuildColdVsWarm|BenchmarkTable2Workloads' scripts/bench.sh
+#
+# overrides the default benchmark selection; OUT_DIR overrides where the
+# results land (default bench-results/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-BenchmarkRebuildColdVsWarm|BenchmarkTable1Systems|BenchmarkTable2Workloads|BenchmarkTable3ImageSizes}"
+OUT_DIR="${OUT_DIR:-bench-results}"
+STAMP=$(date -u +%Y%m%dT%H%M%SZ)
+RAW="$OUT_DIR/bench-$STAMP.txt"
+JSON="$OUT_DIR/bench-$STAMP.json"
+
+mkdir -p "$OUT_DIR"
+
+echo "== go test -bench ($BENCH) =="
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime 1x . | tee "$RAW"
+
+# Parse `BenchmarkName  N  value unit  value unit ...` lines into JSON:
+# one object per benchmark with every reported metric keyed by its unit.
+awk -v stamp="$STAMP" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    entry = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i + 1 <= NF; i += 2)
+        entry = entry sprintf(", \"%s\": %s", $(i + 1), $i)
+    entry = entry "}"
+    lines[n++] = entry
+}
+END {
+    printf "{\n  \"timestamp\": \"%s\",\n  \"benchmarks\": [\n", stamp
+    for (i = 0; i < n; i++)
+        printf "%s%s\n", lines[i], (i + 1 < n ? "," : "")
+    print "  ]\n}"
+}' "$RAW" > "$JSON"
+
+echo "raw output:  $RAW"
+echo "json summary: $JSON"
