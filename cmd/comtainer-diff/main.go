@@ -134,14 +134,17 @@ func run(layoutDir, fromTag, toTag string) error {
 	fmt.Printf("diff %s -> %s: %d added, %d changed, %d removed\n\n",
 		fromTag, toTag, len(added), len(changed), len(removed))
 	for _, p := range added {
+		//comtainer:allow errpropagate -- p comes from Paths() of the same FS; Stat cannot fail
 		f, _ := toFS.Stat(p)
 		fmt.Printf("A %-9s %-45s %s\n", origin(p), p, describe(f))
 	}
 	for _, p := range changed {
+		//comtainer:allow errpropagate -- p comes from Paths() of the same FS; Stat cannot fail
 		f, _ := toFS.Stat(p)
 		fmt.Printf("M %-9s %-45s %s\n", origin(p), p, describe(f))
 	}
 	for _, p := range removed {
+		//comtainer:allow errpropagate -- p comes from Paths() of the same FS; Stat cannot fail
 		f, _ := fromFS.Stat(p)
 		fmt.Printf("D %-9s %-45s %s\n", origin(p), p, describe(f))
 	}

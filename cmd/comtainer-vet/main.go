@@ -1,0 +1,83 @@
+// Command comtainer-vet runs coMtainer's custom static-analysis suite
+// — the multichecker over internal/analysis/passes — enforcing the
+// repository's concurrency, digest, and filesystem invariants:
+//
+//	digestcmp     typed digest construction and comparison
+//	atomicwrite   temp+rename writes under store roots
+//	lockio        no file/network I/O while a shard mutex is held
+//	safejoin      sanitized joins for tar entry names and fsim paths
+//	errpropagate  no discarded errors from the storage packages
+//	gonaked       no fire-and-forget goroutines
+//
+// Usage:
+//
+//	go run ./cmd/comtainer-vet ./...
+//	go run ./cmd/comtainer-vet -only lockio,safejoin ./internal/distrib
+//
+// Exit status is non-zero when any diagnostic survives the
+// //comtainer:allow suppression filter. The loader is self-contained
+// (stdlib + the go command); it is not a `go vet -vettool` unitchecker
+// because this module deliberately carries no golang.org/x/tools
+// dependency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/passes"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		dir  = flag.String("C", ".", "directory to resolve package patterns in")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		suite = suite.ByName(strings.Split(*only, ",")...)
+		if len(suite) == 0 {
+			fmt.Fprintf(os.Stderr, "comtainer-vet: no analyzers match -only=%s (have %s)\n",
+				*only, strings.Join(passes.All().Names(), ", "))
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Check(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "comtainer-vet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -38,6 +38,7 @@ func serve(dataDir string) (string, func(), error) {
 		return "", nil, err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
+	//comtainer:allow gonaked,errpropagate -- server goroutine ends when shutdown() closes hs; Serve then returns ErrServerClosed
 	go func() { _ = hs.Serve(ln) }()
 	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
 }

@@ -90,8 +90,8 @@ func (c *DiskCache) index() error {
 		if err != nil || d.IsDir() {
 			return err
 		}
-		key := digest.Digest("sha256:" + d.Name())
-		if key.Validate() != nil {
+		key, perr := digest.Parse("sha256:" + d.Name())
+		if perr != nil {
 			return nil // foreign file; leave it alone
 		}
 		info, err := d.Info()

@@ -1,0 +1,173 @@
+// Package analysis is a small, self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, rebuilt on the standard
+// library so coMtainer's vettool carries no external dependencies.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. The loader resolves packages and their import closure
+// through `go list -deps -export -json`, type-checking target packages
+// from source against compiler export data, so analyzers see exactly
+// the types the compiler sees. The checker runs a suite of analyzers
+// over loaded packages and applies the repository-wide suppression
+// comment syntax:
+//
+//	//comtainer:allow <name>[,<name>...] [-- reason]
+//
+// placed on the flagged line, on the line immediately above it, or in
+// the doc comment of the enclosing function declaration.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //comtainer:allow suppression comments. It must be a valid
+	// identifier.
+	Name string
+
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries everything an analyzer may inspect about one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostic is one analyzer finding, located in resolved file
+// coordinates so it can be printed and filtered without the FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the diagnostic the way vet does:
+// path:line:col: [analyzer] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Callee resolves the static callee of call: a package-level function,
+// a method (concrete or interface), or nil for calls through function
+// values and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call is a static call to one of the named
+// functions (or methods) declared in the package with path pkgPath.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedTypePath returns the package path and type name of t's core
+// named type, unwrapping pointers; both are "" for unnamed types.
+func NamedTypePath(t types.Type) (pkgPath, name string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// FuncScopes walks file and calls fn for every function body — each
+// FuncDecl and each FuncLit — passing the body and the enclosing
+// *ast.FuncDecl when one exists (nil for file-level var initializers).
+// Bodies of nested function literals are visited separately and are
+// NOT re-walked as part of their parent, letting per-function
+// analyzers treat each lexical function as its own scope.
+func FuncScopes(file *ast.File, fn func(body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	var visit func(n ast.Node, decl *ast.FuncDecl)
+	visit = func(n ast.Node, decl *ast.FuncDecl) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					fn(v.Body, v)
+					visit(v.Body, v)
+				}
+				return false
+			case *ast.FuncLit:
+				fn(v.Body, decl)
+				visit(v.Body, decl)
+				return false
+			}
+			return true
+		})
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Body, d)
+				visit(d.Body, d)
+			}
+		default:
+			visit(d, nil)
+		}
+	}
+}
+
+// InspectShallow walks n but does not descend into nested function
+// literals, so statement-order reasoning stays within one function.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != n {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Check runs every analyzer over every package and returns the
+// surviving diagnostics sorted by position. Diagnostics silenced by a
+// //comtainer:allow comment are dropped.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				if !allow.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowIndex records, per file, which analyzer names are allowed on
+// which lines.
+type allowIndex struct {
+	// byLine maps filename → line → analyzer names allowed there.
+	byLine map[string]map[int]map[string]bool
+}
+
+// suppressed reports whether d is covered by an allow comment on its
+// own line or the line above (function-doc allows are expanded onto
+// every line of the function when the index is built).
+func (ix *allowIndex) suppressed(d Diagnostic) bool {
+	lines := ix.byLine[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[ln]; names[d.Analyzer] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows indexes every //comtainer:allow comment in the
+// package. A comment in a function's doc block applies to the whole
+// function body.
+func collectAllows(pkg *Package) *allowIndex {
+	ix := &allowIndex{byLine: make(map[string]map[int]map[string]bool)}
+	add := func(filename string, line int, names []string) {
+		lines := ix.byLine[filename]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			ix.byLine[filename] = lines
+		}
+		set := lines[line]
+		if set == nil {
+			set = make(map[string]bool)
+			lines[line] = set
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, names)
+			}
+		}
+		// Doc-comment allows cover the whole declared function.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fd.Doc.List {
+				names = append(names, parseAllow(c.Text)...)
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			for ln := start.Line; ln <= end.Line; ln++ {
+				add(start.Filename, ln, names)
+			}
+		}
+	}
+	return ix
+}
+
+// parseAllow extracts analyzer names from one comment, returning nil
+// when the comment is not an allow directive. Accepted forms:
+//
+//	//comtainer:allow lockio
+//	//comtainer:allow lockio,errpropagate -- rename must stay serialized
+func parseAllow(text string) []string {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "comtainer:allow")
+	if !ok {
+		return nil
+	}
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = rest[:reason]
+	}
+	rest = strings.TrimSuffix(rest, "*/")
+	var names []string
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if f != "" {
+			names = append(names, f)
+		}
+	}
+	return names
+}
+
+// FilterSuppressed applies the //comtainer:allow filtering to an
+// externally produced diagnostic list — the hook the analysistest
+// harness uses so testdata can exercise the suppression syntax.
+func FilterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allow := collectAllows(pkg)
+	var out []Diagnostic
+	for _, d := range diags {
+		if !allow.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

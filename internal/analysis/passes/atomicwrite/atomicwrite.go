@@ -1,0 +1,90 @@
+// Package atomicwrite enforces the store-write discipline: files under
+// a content-addressed store root (blobs/, entries/, actions/, refs/,
+// or the OCI layout files) must be committed with the temp-file +
+// os.Rename idiom, never written in place. A direct write that dies
+// mid-way leaves a torn file at an addressable path, which defeats the
+// crash-safety argument every disk store in this repository makes.
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"comtainer/internal/analysis"
+)
+
+// storeMarkers are path components that identify a store root. An
+// expression containing one of these string constants (directly or
+// through local assignment) is treated as a store path.
+var storeMarkers = map[string]bool{
+	"blobs":      true,
+	"entries":    true,
+	"actions":    true,
+	"refs":       true,
+	"oci-layout": true,
+	"index.json": true,
+}
+
+// Analyzer flags direct writes into store-rooted paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "files under a store root (blobs/, entries/, actions/, refs/, OCI layout files) " +
+		"must be written via temp file + os.Rename, not direct os.WriteFile/os.Create/os.OpenFile",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			// A helper that IS the atomic-write idiom may touch the
+			// final path (it renames into it).
+			if decl != nil && strings.Contains(strings.ToLower(decl.Name.Name), "atomic") {
+				return
+			}
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	taint := &analysis.Taint{
+		Info:   pass.TypesInfo,
+		Source: func(e ast.Expr) bool { return isMarkerConst(pass.TypesInfo, e) },
+		Propagate: func(c *ast.CallExpr) bool {
+			return analysis.IsPkgFunc(pass.TypesInfo, c, "path/filepath", "Join", "Clean") ||
+				analysis.IsPkgFunc(pass.TypesInfo, c, "path", "Join", "Clean") ||
+				analysis.IsPkgFunc(pass.TypesInfo, c, "fmt", "Sprintf", "Sprint")
+		},
+	}
+	tainted := taint.Run(body)
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !analysis.IsPkgFunc(pass.TypesInfo, call, "os", "WriteFile", "Create", "OpenFile") {
+			return true
+		}
+		if len(call.Args) == 0 || !tainted(call.Args[0]) {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		pass.Reportf(call.Pos(),
+			"direct os.%s into a store root; write to a temp file and commit with os.Rename "+
+				"(see distrib.DiskStore.Ingest)", fn.Name())
+		return true
+	})
+}
+
+// isMarkerConst reports whether e is a string constant naming a store
+// root component.
+func isMarkerConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return storeMarkers[constant.StringVal(tv.Value)]
+}

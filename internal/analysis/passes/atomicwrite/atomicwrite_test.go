@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/atomicwrite"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, atomicwrite.Analyzer, "testdata/src/a")
+}

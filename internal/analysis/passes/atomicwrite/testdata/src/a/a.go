@@ -1,0 +1,48 @@
+// Package a exercises the atomicwrite analyzer.
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeBlob(root string, data []byte) error {
+	p := filepath.Join(root, "blobs", "sha256", "ab")
+	return os.WriteFile(p, data, 0o644) // want `direct os.WriteFile into a store root`
+}
+
+func createIndex(dir string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, "index.json")) // want `direct os.Create into a store root`
+}
+
+func openRef(dir string) (*os.File, error) {
+	p := filepath.Join(dir, "refs", "latest.json")
+	return os.OpenFile(p, os.O_WRONLY|os.O_CREATE, 0o644) // want `direct os.OpenFile into a store root`
+}
+
+// writeRefAtomic is named *Atomic*: it IS the commit idiom and may
+// rename into the final path.
+func writeRefAtomic(dir string, data []byte) error {
+	p := filepath.Join(dir, "refs", "latest.json")
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+func writeElsewhere(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "notes.txt"), data, 0o644)
+}
+
+func suppressed(dir string, data []byte) error {
+	//comtainer:allow atomicwrite -- exercising the suppression syntax
+	return os.WriteFile(filepath.Join(dir, "actions", "x"), data, 0o644)
+}

@@ -1,0 +1,121 @@
+// Package digestcmp enforces coMtainer's digest-handling invariant:
+// content digests are values of comtainer/internal/digest.Digest,
+// constructed and parsed by that package's helpers, never assembled or
+// compared as raw "sha256:..." strings. Raw-string digest handling is
+// how verify-on-read checks silently stop verifying — a typed Digest
+// must exist before any comparison so that Validate/Parse has seen it.
+package digestcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"comtainer/internal/analysis"
+)
+
+// digestPkg is the package whose helpers are mandatory.
+const digestPkg = "comtainer/internal/digest"
+
+// Analyzer flags raw-string digest construction and comparison.
+var Analyzer = &analysis.Analyzer{
+	Name: "digestcmp",
+	Doc: "digests must be built and compared via comtainer/internal/digest " +
+		"(FromBytes/FromReader/FromHash/Parse and typed Digest comparison), " +
+		"never assembled from or compared against raw \"sha256:...\" strings",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == digestPkg {
+		return nil // the digest package owns the representation
+	}
+	if strings.HasPrefix(pass.Pkg.Path(), "comtainer/internal/analysis") &&
+		!strings.Contains(pass.Pkg.Path(), "/testdata/") {
+		return nil // the analyzers themselves inspect digest literals
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, v)
+			case *ast.BinaryExpr:
+				checkCompare(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags digest.Digest(<string concatenation>) conversions
+// and strings-package prefix fiddling on "sha256:..." literals.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Conversion to digest.Digest from a concatenation: the caller is
+	// hashing or re-assembling by hand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if p, name := analysis.NamedTypePath(tv.Type); p == digestPkg && name == "Digest" {
+			if _, ok := ast.Unparen(call.Args[0]).(*ast.BinaryExpr); ok {
+				pass.Reportf(call.Pos(),
+					"digest assembled by string concatenation; use digest.FromBytes/FromReader/FromHash or digest.Parse")
+			}
+		}
+		return
+	}
+	// strings.HasPrefix(x, "sha256:") and friends.
+	if analysis.IsPkgFunc(pass.TypesInfo, call, "strings",
+		"HasPrefix", "HasSuffix", "TrimPrefix", "TrimSuffix", "Contains", "Cut") {
+		for _, arg := range call.Args {
+			if isDigestLiteral(pass.TypesInfo, arg) {
+				pass.Reportf(call.Pos(),
+					"string inspection of a %q literal; parse with digest.Parse and use Digest.Algorithm/Hex instead", "sha256:")
+				return
+			}
+		}
+	}
+}
+
+// checkCompare flags ==/!= where digests leak back into raw strings:
+// either a string(d) conversion of a Digest, or a plain-string operand
+// compared against a "sha256:..." literal.
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if conv, ok := ast.Unparen(side).(*ast.CallExpr); ok && len(conv.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[conv.Fun]; ok && tv.IsType() {
+				if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.String {
+					if p, name := analysis.NamedTypePath(pass.TypesInfo.TypeOf(conv.Args[0])); p == digestPkg && name == "Digest" {
+						pass.Reportf(b.Pos(),
+							"digest compared through string(...) conversion; compare digest.Digest values directly")
+						return
+					}
+				}
+			}
+		}
+	}
+	lit, other := b.X, b.Y
+	if !isDigestLiteral(pass.TypesInfo, lit) {
+		lit, other = b.Y, b.X
+	}
+	if !isDigestLiteral(pass.TypesInfo, lit) {
+		return
+	}
+	if t, ok := pass.TypesInfo.TypeOf(other).(*types.Basic); ok && t.Kind() == types.String {
+		pass.Reportf(b.Pos(),
+			"raw string compared against a %q literal; parse both sides with digest.Parse and compare Digest values", "sha256:")
+	}
+}
+
+// isDigestLiteral reports whether e is a constant string starting with
+// the sha256 algorithm prefix.
+func isDigestLiteral(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.HasPrefix(constant.StringVal(tv.Value), "sha256:")
+}

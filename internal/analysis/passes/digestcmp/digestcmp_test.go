@@ -1,0 +1,12 @@
+package digestcmp_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/digestcmp"
+)
+
+func TestDigestcmp(t *testing.T) {
+	analysistest.Run(t, digestcmp.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,42 @@
+// Package a exercises the digestcmp analyzer.
+package a
+
+import (
+	"strings"
+
+	"comtainer/internal/digest"
+)
+
+func concat(hex string) digest.Digest {
+	return digest.Digest("sha256:" + hex) // want `digest assembled by string concatenation`
+}
+
+func prefix(s string) bool {
+	return strings.HasPrefix(s, "sha256:") // want `string inspection of a "sha256:" literal`
+}
+
+func trim(s string) string {
+	return strings.TrimPrefix(s, "sha256:") // want `string inspection of a "sha256:" literal`
+}
+
+func compareConverted(d digest.Digest, s string) bool {
+	return string(d) == s // want `digest compared through string\(\.\.\.\) conversion`
+}
+
+func compareRaw(s string) bool {
+	return s == "sha256:0000000000000000000000000000000000000000000000000000000000000000" // want `raw string compared against a "sha256:" literal`
+}
+
+func good(b []byte, s string) (bool, error) {
+	d := digest.FromBytes(b)
+	p, err := digest.Parse(s)
+	if err != nil {
+		return false, err
+	}
+	return d == p, nil
+}
+
+func suppressed(s string) bool {
+	//comtainer:allow digestcmp -- exercising the suppression syntax
+	return s == "sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+}

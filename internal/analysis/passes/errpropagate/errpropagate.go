@@ -1,0 +1,151 @@
+// Package errpropagate enforces error discipline at the boundaries of
+// the storage and image-manipulation packages: an error returned by
+// internal/fsim, internal/oci, internal/distrib, or internal/actioncache
+// must be propagated or logged, never dropped with `_ =` or a bare
+// call statement. These are exactly the APIs whose errors signal
+// corruption (digest mismatch, torn write, missing blob); swallowing
+// one converts an integrity failure into silent bad output. Genuinely
+// best-effort call sites carry //comtainer:allow errpropagate with a
+// reason.
+package errpropagate
+
+import (
+	"go/ast"
+	"go/types"
+
+	"comtainer/internal/analysis"
+)
+
+// guardedPkgs are the packages whose returned errors must not be
+// discarded.
+var guardedPkgs = map[string]bool{
+	"comtainer/internal/fsim":        true,
+	"comtainer/internal/oci":         true,
+	"comtainer/internal/distrib":     true,
+	"comtainer/internal/actioncache": true,
+}
+
+// Analyzer flags discarded errors from the guarded packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagate",
+	Doc: "errors returned by internal/fsim, internal/oci, internal/distrib and " +
+		"internal/actioncache must be handled, not discarded with `_ =` or a bare call",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			case *ast.ExprStmt:
+				checkBare(pass, s)
+			case *ast.GoStmt, *ast.DeferStmt:
+				// go/defer of a guarded call discards its error too.
+				var call *ast.CallExpr
+				if g, ok := s.(*ast.GoStmt); ok {
+					call = g.Call
+				} else {
+					call = s.(*ast.DeferStmt).Call
+				}
+				if name, ok := discardsGuardedError(pass, call, -1); ok {
+					pass.Reportf(call.Pos(), "error from %s discarded; handle or propagate it", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags `_ = call` and `x, _ = call` forms where the
+// blanked value is an error from a guarded package.
+func checkAssign(pass *analysis.Pass, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// Multi-value call: find blanked error results positionally.
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for i, l := range s.Lhs {
+			if !isBlank(l) {
+				continue
+			}
+			if name, ok := discardsGuardedError(pass, call, i); ok {
+				pass.Reportf(s.Pos(), "error from %s discarded with _; handle or propagate it", name)
+				return
+			}
+		}
+		return
+	}
+	for i := range s.Lhs {
+		if i >= len(s.Rhs) || !isBlank(s.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if name, ok := discardsGuardedError(pass, call, 0); ok {
+			pass.Reportf(s.Pos(), "error from %s discarded with _; handle or propagate it", name)
+		}
+	}
+}
+
+// checkBare flags a guarded call used as a bare statement while it
+// returns an error.
+func checkBare(pass *analysis.Pass, s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if name, ok := discardsGuardedError(pass, call, -1); ok {
+		pass.Reportf(call.Pos(), "error from %s discarded by bare call; handle or propagate it", name)
+	}
+}
+
+// discardsGuardedError reports whether call targets a guarded package
+// and returns an error at result index idx (-1: any result). The
+// returned name is package.Function for diagnostics.
+func discardsGuardedError(pass *analysis.Pass, call *ast.CallExpr, idx int) (string, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !guardedPkgs[fn.Pkg().Path()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	match := false
+	for i := 0; i < res.Len(); i++ {
+		if idx >= 0 && i != idx {
+			continue
+		}
+		if isErrorType(res.At(i).Type()) {
+			match = true
+		}
+	}
+	if !match {
+		return "", false
+	}
+	name := fn.Pkg().Name() + "." + fn.Name()
+	if recv := sig.Recv(); recv != nil {
+		if _, tn := analysis.NamedTypePath(recv.Type()); tn != "" {
+			name = fn.Pkg().Name() + "." + tn + "." + fn.Name()
+		}
+	}
+	return name, true
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

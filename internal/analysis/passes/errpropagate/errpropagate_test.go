@@ -1,0 +1,12 @@
+package errpropagate_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/errpropagate"
+)
+
+func TestErrpropagate(t *testing.T) {
+	analysistest.Run(t, errpropagate.Analyzer, "testdata/src/a")
+}

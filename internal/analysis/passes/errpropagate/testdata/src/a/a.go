@@ -1,0 +1,38 @@
+// Package a exercises the errpropagate analyzer.
+package a
+
+import "comtainer/internal/fsim"
+
+func blanked(fs *fsim.FS) {
+	_ = fs.Remove("/x") // want `error from fsim.FS.Remove discarded with _`
+}
+
+func bare(fs *fsim.FS) {
+	fs.Remove("/x") // want `error from fsim.FS.Remove discarded by bare call`
+}
+
+func multi(fs *fsim.FS) *fsim.File {
+	f, _ := fs.Stat("/x") // want `error from fsim.FS.Stat discarded with _`
+	return f
+}
+
+func deferred(fs *fsim.FS) {
+	defer fs.Remove("/x") // want `error from fsim.FS.Remove discarded`
+}
+
+func handled(fs *fsim.FS) error {
+	if err := fs.Remove("/x"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func unguardedIsFine(m map[string]bool) {
+	_ = len(m)
+	delete(m, "x")
+}
+
+func suppressed(fs *fsim.FS) {
+	//comtainer:allow errpropagate -- exercising the suppression syntax
+	_ = fs.Remove("/x")
+}

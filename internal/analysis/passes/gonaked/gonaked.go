@@ -1,0 +1,119 @@
+// Package gonaked forbids fire-and-forget goroutines in library code:
+// every `go func() {...}()` must be observably waited on by its
+// enclosing function — a sync.WaitGroup it calls Done/Add on that the
+// enclosing function Waits on, or a channel it sends on (or closes)
+// that the enclosing function receives from. An unwaited goroutine
+// outlives the call that spawned it, races the caller's cleanup, and
+// is invisible to the counter-based scheduler's accounting — the
+// concurrency bugs the -race gate exists to catch.
+package gonaked
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"comtainer/internal/analysis"
+)
+
+// Analyzer flags goroutine launches with no visible join.
+var Analyzer = &analysis.Analyzer{
+	Name: "gonaked",
+	Doc: "go func literals must be joined by the enclosing function via a " +
+		"sync.WaitGroup it Waits on or a channel it receives from; no fire-and-forget goroutines",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Evidence available anywhere in the enclosing function.
+	enclosingWaits := false    // wg.Wait() call
+	enclosingReceives := false // <-ch, range over channel, or select receive
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupCall(pass, v, "Wait") {
+				enclosingWaits = true
+			}
+		case *ast.UnaryExpr:
+			if isChanRecv(pass, v) {
+				enclosingReceives = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, v.X) {
+				enclosingReceives = true
+			}
+		case *ast.SelectStmt:
+			enclosingReceives = true
+		}
+		return true
+	})
+
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			// `go method()` — require the same enclosing evidence.
+			if !enclosingWaits && !enclosingReceives {
+				pass.Reportf(g.Pos(), "fire-and-forget goroutine: no WaitGroup.Wait or channel receive joins it in the enclosing function")
+			}
+			return true
+		}
+		signals := false
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.CallExpr:
+				if isWaitGroupCall(pass, v, "Done") && enclosingWaits {
+					signals = true
+				}
+				if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" && enclosingReceives {
+					signals = true
+				}
+			case *ast.SendStmt:
+				if enclosingReceives {
+					signals = true
+				}
+			}
+			return true
+		})
+		if !signals {
+			pass.Reportf(g.Pos(), "fire-and-forget goroutine: body neither signals a WaitGroup the enclosing function Waits on nor sends on a channel it receives from")
+		}
+		return true
+	})
+}
+
+// isWaitGroupCall reports whether call is (*sync.WaitGroup).<name>.
+func isWaitGroupCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" || fn.Name() != name {
+		return false
+	}
+	return true
+}
+
+// isChanRecv reports whether u is a channel receive expression.
+func isChanRecv(pass *analysis.Pass, u *ast.UnaryExpr) bool {
+	return u.Op == token.ARROW
+}
+
+// isChanType reports whether e has channel type.
+func isChanType(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

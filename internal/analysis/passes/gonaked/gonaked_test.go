@@ -1,0 +1,12 @@
+package gonaked_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/gonaked"
+)
+
+func TestGonaked(t *testing.T) {
+	analysistest.Run(t, gonaked.Analyzer, "testdata/src/a")
+}

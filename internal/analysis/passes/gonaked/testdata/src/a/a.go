@@ -1,0 +1,49 @@
+// Package a exercises the gonaked analyzer.
+package a
+
+import "sync"
+
+func fire() {
+	go func() {}() // want `fire-and-forget goroutine`
+}
+
+func fireMethod() {
+	go helper() // want `fire-and-forget goroutine`
+}
+
+func helper() {}
+
+func waited(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func channeled() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+func closed() []int {
+	ch := make(chan int)
+	go func() {
+		defer close(ch)
+		ch <- 1
+	}()
+	var out []int
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressed() {
+	//comtainer:allow gonaked -- exercising the suppression syntax
+	go func() {}()
+}

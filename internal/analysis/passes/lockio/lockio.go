@@ -1,0 +1,177 @@
+// Package lockio enforces the shard-lock discipline used throughout
+// the distrib and actioncache stores: a sync.Mutex/RWMutex critical
+// section must not perform file or network I/O. Disk latency under a
+// shard lock convoys every other goroutine touching the shard — the
+// exact regression the DiskCache Get/Put split (stat, read, and write
+// outside the lock; index bookkeeping inside) exists to prevent.
+//
+// The check is lexical, per function: a section opens at mu.Lock() /
+// mu.RLock() and closes at the next matching unlock of the same
+// receiver expression, or at the end of the function when the unlock
+// is deferred. Calls into package os, io, net, or net/http inside a
+// section are flagged. Nested function literals are independent
+// scopes. Deliberate holds (e.g. serializing commit-time renames
+// against deletes) carry a //comtainer:allow lockio comment.
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"comtainer/internal/analysis"
+)
+
+// ioPkgs are packages whose calls count as I/O.
+var ioPkgs = map[string]bool{
+	"os":       true,
+	"io":       true,
+	"net":      true,
+	"net/http": true,
+}
+
+// pureFuncs are calls into ioPkgs that do no I/O and are always fine
+// to make under a lock.
+var pureFuncs = map[string]bool{
+	"os.IsNotExist":   true,
+	"os.IsExist":      true,
+	"os.IsPermission": true,
+	"os.IsTimeout":    true,
+	"os.Getenv":       true,
+}
+
+// Analyzer flags I/O performed while a sync mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockio",
+	Doc: "no os/io/net call while a sync.Mutex or sync.RWMutex is held; " +
+		"do disk and network work outside the critical section",
+	Run: run,
+}
+
+// event is one lock-relevant occurrence inside a function body, in
+// source order.
+type event struct {
+	pos  token.Pos
+	kind string // "lock", "unlock", "defer-unlock", "io"
+	key  string // lock receiver expression + lock flavor
+	desc string // io call description
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var events []event
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if key, kind, ok := lockCall(pass.TypesInfo, v.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				events = append(events, event{pos: v.Pos(), kind: "defer-unlock", key: key + flavor(kind)})
+			}
+			return true
+		case *ast.CallExpr:
+			if key, kind, ok := lockCall(pass.TypesInfo, v); ok {
+				switch kind {
+				case "Lock", "RLock":
+					events = append(events, event{pos: v.Pos(), kind: "lock", key: key + flavor(kind)})
+				case "Unlock", "RUnlock":
+					events = append(events, event{pos: v.Pos(), kind: "unlock", key: key + flavor(kind)})
+				}
+				return true
+			}
+			if desc, ok := ioCall(pass.TypesInfo, v); ok {
+				events = append(events, event{pos: v.Pos(), kind: "io", desc: desc})
+			}
+		}
+		return true
+	})
+
+	reported := map[token.Pos]bool{}
+	for _, lock := range events {
+		if lock.kind != "lock" {
+			continue
+		}
+		end := body.End()
+		// The section closes at the first explicit matching unlock
+		// after the lock, unless a deferred unlock intervenes — then
+		// it runs to the end of the function.
+		var explicit token.Pos
+		for _, e := range events {
+			if e.kind == "unlock" && e.key == lock.key && e.pos > lock.pos {
+				explicit = e.pos
+				break
+			}
+		}
+		deferred := false
+		for _, e := range events {
+			if e.kind == "defer-unlock" && e.key == lock.key && e.pos > lock.pos &&
+				(explicit == token.NoPos || e.pos < explicit) {
+				deferred = true
+				break
+			}
+		}
+		if !deferred && explicit != token.NoPos {
+			end = explicit
+		}
+		for _, e := range events {
+			if e.kind == "io" && e.pos > lock.pos && e.pos < end && !reported[e.pos] {
+				reported[e.pos] = true
+				pass.Reportf(e.pos, "%s called while %s is held; move I/O outside the critical section",
+					e.desc, lock.key[:len(lock.key)-2])
+			}
+		}
+	}
+}
+
+// flavor collapses Lock/Unlock and RLock/RUnlock into a matching key
+// suffix so write sections pair with Unlock and read sections with
+// RUnlock.
+func flavor(kind string) string {
+	if kind == "RLock" || kind == "RUnlock" {
+		return "/r"
+	}
+	return "/w"
+}
+
+// lockCall reports whether call is a sync.Mutex/RWMutex (un)lock and
+// returns the receiver expression string and method name.
+func lockCall(info *types.Info, call *ast.CallExpr) (key, kind string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// ioCall reports whether call enters one of the I/O packages and
+// returns a printable description.
+func ioCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !ioPkgs[fn.Pkg().Path()] {
+		return "", false
+	}
+	desc := fn.Pkg().Name() + "." + fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if _, name := analysis.NamedTypePath(recv.Type()); name != "" {
+			desc = fn.Pkg().Name() + "." + name + "." + fn.Name()
+		}
+	}
+	if pureFuncs[desc] || pureFuncs[fn.Pkg().Name()+"."+fn.Name()] {
+		return "", false
+	}
+	return desc, true
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, lockio.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,67 @@
+// Package a exercises the lockio analyzer.
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+func (s *store) deferHeld(p string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(p) // want `os.ReadFile called while s.mu is held`
+}
+
+func (s *store) explicitHeld(p string) error {
+	s.mu.Lock()
+	err := os.Remove(p) // want `os.Remove called while s.mu is held`
+	s.mu.Unlock()
+	return err
+}
+
+func (s *store) outside(p string) ([]byte, error) {
+	s.mu.Lock()
+	ok := s.m[p]
+	s.mu.Unlock()
+	if !ok {
+		return nil, os.ErrNotExist
+	}
+	return os.ReadFile(p)
+}
+
+func (s *store) pure(err error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.IsNotExist(err)
+}
+
+type rw struct {
+	mu sync.RWMutex
+}
+
+func (r *rw) readHeld(p string) (os.FileInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return os.Stat(p) // want `os.Stat called while r.mu is held`
+}
+
+func (r *rw) literalScope(p string) func() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The literal is its own scope: it does not run under the lock.
+	return func() error {
+		return os.Remove(p)
+	}
+}
+
+func (s *store) suppressed(p string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//comtainer:allow lockio -- exercising the suppression syntax
+	return os.Remove(p)
+}

@@ -1,0 +1,25 @@
+// Package passes assembles the full comtainer-vet analyzer suite.
+package passes
+
+import (
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/passes/atomicwrite"
+	"comtainer/internal/analysis/passes/digestcmp"
+	"comtainer/internal/analysis/passes/errpropagate"
+	"comtainer/internal/analysis/passes/gonaked"
+	"comtainer/internal/analysis/passes/lockio"
+	"comtainer/internal/analysis/passes/safejoin"
+)
+
+// All returns every analyzer in the comtainer-vet suite, in the order
+// diagnostics should be grouped.
+func All() analysis.Suite {
+	return analysis.Suite{
+		digestcmp.Analyzer,
+		atomicwrite.Analyzer,
+		lockio.Analyzer,
+		safejoin.Analyzer,
+		errpropagate.Analyzer,
+		gonaked.Analyzer,
+	}
+}

@@ -1,0 +1,197 @@
+// Package safejoin is the Zip-Slip guard: names read out of tar
+// archives (archive/tar Header.Name / Header.Linkname) and simulated
+// file-system paths (fsim.File.Path, fsim.FS.Paths) are untrusted and
+// must pass through a sanitizing join — a helper whose name contains
+// "safe" or "sanitize", such as fsim.SafeJoin or tarfs's entry-name
+// sanitizer — before they reach a path constructor or the host file
+// system. A crafted layer with "../../etc/cron.d/x" or an absolute
+// entry name must be rejected, not silently re-rooted.
+package safejoin
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"comtainer/internal/analysis"
+)
+
+const fsimPkg = "comtainer/internal/fsim"
+
+// Analyzer flags unsanitized tar entry names and fsim paths flowing
+// into path joins or host file-system calls.
+var Analyzer = &analysis.Analyzer{
+	Name: "safejoin",
+	Doc: "tar entry names and fsim paths must pass a sanitizing join " +
+		"(fsim.SafeJoin or a safe*/sanitize* helper) before filepath.Join or any host fs call",
+	Run: run,
+}
+
+// osPathFuncs maps os functions to the index of their (first)
+// path-like argument.
+var osPathFuncs = map[string]int{
+	"WriteFile": 0, "Create": 0, "OpenFile": 0, "Open": 0,
+	"Mkdir": 0, "MkdirAll": 0, "Remove": 0, "RemoveAll": 0,
+	"Rename": 0, "Symlink": 1, "Chtimes": 0, "ReadFile": 0,
+}
+
+// fsimPathMethods maps fsim.FS mutator methods to the index of their
+// path argument — the sinks a raw tar name must not reach.
+var fsimPathMethods = map[string]int{
+	"WriteFile": 0, "MkdirAll": 0, "Symlink": 1, "Remove": 0, "Exists": 0, "Stat": 0,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			if decl != nil && sanitizerName(decl.Name.Name) {
+				return // the sanitizer itself joins raw names by design
+			}
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	propagate := func(c *ast.CallExpr) bool {
+		return analysis.IsPkgFunc(pass.TypesInfo, c, "strings",
+			"TrimPrefix", "TrimSuffix", "TrimLeft", "TrimRight", "Trim", "ToLower", "ReplaceAll") ||
+			analysis.IsPkgFunc(pass.TypesInfo, c, "path", "Clean") ||
+			analysis.IsPkgFunc(pass.TypesInfo, c, "path/filepath", "Clean", "FromSlash", "ToSlash") ||
+			analysis.IsPkgFunc(pass.TypesInfo, c, "fmt", "Sprintf", "Sprint")
+	}
+	sanitize := func(c *ast.CallExpr) bool {
+		fn := analysis.Callee(pass.TypesInfo, c)
+		return fn != nil && sanitizerName(fn.Name())
+	}
+
+	tarTaint := (&analysis.Taint{
+		Info:      pass.TypesInfo,
+		Source:    func(e ast.Expr) bool { return isTarName(pass, e) },
+		Propagate: propagate,
+		Sanitize:  sanitize,
+	}).Run(body)
+	fsTaint := (&analysis.Taint{
+		Info:      pass.TypesInfo,
+		Source:    func(e ast.Expr) bool { return isFsimPath(pass, e) },
+		Propagate: propagate,
+		Sanitize:  sanitize,
+	}).Run(body)
+
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkSink(pass, call, tarTaint, fsTaint)
+		return true
+	})
+}
+
+// checkSink reports tainted arguments reaching a path sink. Tar names
+// are rejected at every path constructor (they may not even enter the
+// simulated tree unsanitized); fsim paths only at the host boundary
+// (filepath.Join and os calls) — inside the simulator they are clean
+// by construction.
+func checkSink(pass *analysis.Pass, call *ast.CallExpr, tarTaint, fsTaint func(ast.Expr) bool) {
+	info := pass.TypesInfo
+	report := func(arg ast.Expr, what, sink string) {
+		pass.Reportf(arg.Pos(),
+			"%s reaches %s without sanitization; use a safe join (e.g. fsim.SafeJoin) "+
+				"that rejects absolute and dot-dot names", what, sink)
+	}
+	// Host-boundary sinks: both taints.
+	if analysis.IsPkgFunc(info, call, "path/filepath", "Join") {
+		for _, a := range call.Args {
+			if tarTaint(a) {
+				report(a, "tar entry name", "filepath.Join")
+				return
+			}
+			if fsTaint(a) {
+				report(a, "fsim path", "filepath.Join")
+				return
+			}
+		}
+	}
+	if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os" {
+		if idx, ok := osPathFuncs[fn.Name()]; ok && idx < len(call.Args) {
+			a := call.Args[idx]
+			if tarTaint(a) {
+				report(a, "tar entry name", "os."+fn.Name())
+				return
+			}
+			if fsTaint(a) {
+				report(a, "fsim path", "os."+fn.Name())
+				return
+			}
+		}
+	}
+	// Simulator-entry sinks: tar taint only.
+	if analysis.IsPkgFunc(info, call, "path", "Join") {
+		for _, a := range call.Args {
+			if tarTaint(a) {
+				report(a, "tar entry name", "path.Join")
+				return
+			}
+		}
+	}
+	if analysis.IsPkgFunc(info, call, fsimPkg, "Clean") && len(call.Args) == 1 && tarTaint(call.Args[0]) {
+		report(call.Args[0], "tar entry name", "fsim.Clean")
+		return
+	}
+	if fn := analysis.Callee(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == fsimPkg {
+		if recv := recvTypeName(fn); recv == "FS" {
+			if idx, ok := fsimPathMethods[fn.Name()]; ok && idx < len(call.Args) && tarTaint(call.Args[idx]) {
+				report(call.Args[idx], "tar entry name", "fsim.FS."+fn.Name())
+			}
+		}
+	}
+}
+
+// recvTypeName returns the receiver type name of a method, or "".
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	_, name := analysis.NamedTypePath(recv.Type())
+	return name
+}
+
+// sanitizerName reports whether a function name marks a sanitizer.
+func sanitizerName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "safe") || strings.Contains(l, "sanitiz")
+}
+
+// isTarName reports whether e reads Header.Name or Header.Linkname of
+// an archive/tar.Header.
+func isTarName(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Name" && sel.Sel.Name != "Linkname") {
+		return false
+	}
+	p, name := analysis.NamedTypePath(pass.TypesInfo.TypeOf(sel.X))
+	return p == "archive/tar" && name == "Header"
+}
+
+// isFsimPath reports whether e reads fsim.File.Path or calls
+// fsim.FS.Paths (whose elements are simulated absolute paths).
+func isFsimPath(pass *analysis.Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v.Sel.Name != "Path" {
+			return false
+		}
+		p, name := analysis.NamedTypePath(pass.TypesInfo.TypeOf(v.X))
+		return p == fsimPkg && name == "File"
+	case *ast.CallExpr:
+		fn := analysis.Callee(pass.TypesInfo, v)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != fsimPkg {
+			return false
+		}
+		return fn.Name() == "Paths"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package safejoin_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/safejoin"
+)
+
+func TestSafejoin(t *testing.T) {
+	analysistest.Run(t, safejoin.Analyzer, "testdata/src/a")
+}

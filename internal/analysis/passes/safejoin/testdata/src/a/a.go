@@ -1,0 +1,51 @@
+// Package a exercises the safejoin analyzer.
+package a
+
+import (
+	"archive/tar"
+	"os"
+	"path/filepath"
+
+	"comtainer/internal/fsim"
+)
+
+func hostJoin(hdr *tar.Header, root string) error {
+	p := filepath.Join(root, hdr.Name) // want `tar entry name reaches filepath.Join`
+	return os.WriteFile(p, nil, 0o644)
+}
+
+func hostWrite(hdr *tar.Header, data []byte) error {
+	return os.WriteFile(hdr.Name, data, 0o644) // want `tar entry name reaches os.WriteFile`
+}
+
+func trimmedStaysTainted(hdr *tar.Header, root string) string {
+	name := filepath.Clean(hdr.Name)
+	return filepath.Join(root, name) // want `tar entry name reaches filepath.Join`
+}
+
+func simEntry(hdr *tar.Header, out *fsim.FS) {
+	out.WriteFile(fsim.Clean(hdr.Name), nil, 0o644) // want `tar entry name reaches fsim.Clean`
+}
+
+func exportPath(f *fsim.File, dir string) error {
+	return os.WriteFile(filepath.Join(dir, f.Path), f.Data, 0o644) // want `fsim path reaches filepath.Join`
+}
+
+func exportPaths(fs *fsim.FS, dir string) {
+	for _, p := range fs.Paths() {
+		os.Remove(filepath.Join(dir, p)) // want `fsim path reaches filepath.Join`
+	}
+}
+
+func sanitized(hdr *tar.Header, root string) error {
+	p, err := fsim.SafeJoin(root, hdr.Name)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(p, nil, 0o644)
+}
+
+func suppressed(hdr *tar.Header, root string) string {
+	//comtainer:allow safejoin -- exercising the suppression syntax
+	return filepath.Join(root, hdr.Name)
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// The suite is assembled in cmd/comtainer-vet (and tests) from the
+// passes subpackages; this file only defines the shared registry type
+// so callers don't depend on each pass individually.
+
+// Suite is an ordered list of analyzers run together.
+type Suite []*Analyzer
+
+// Names returns the analyzer names in order.
+func (s Suite) Names() []string {
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// ByName returns the named analyzers, or all when names is empty.
+// Unknown names are ignored.
+func (s Suite) ByName(names ...string) Suite {
+	if len(names) == 0 {
+		return s
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out Suite
+	for _, a := range s {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Taint performs flow-insensitive local taint propagation over one
+// function body. It is deliberately simple — sound enough for a
+// repository linter backed by suppression comments, with the precision
+// coming from the analyzer-supplied predicates.
+type Taint struct {
+	Info *types.Info
+
+	// Source reports whether expr introduces taint by itself
+	// (independent of any local data flow).
+	Source func(ast.Expr) bool
+
+	// Propagate reports whether call forwards taint from its
+	// arguments to its results (e.g. strings.TrimPrefix).
+	Propagate func(*ast.CallExpr) bool
+
+	// Sanitize reports whether call cleanses its arguments: its
+	// results are never tainted (e.g. a SafeJoin helper).
+	Sanitize func(*ast.CallExpr) bool
+
+	tainted map[types.Object]bool
+}
+
+// Run propagates taint through assignments, declarations, and range
+// statements in body until a fixed point, then returns a predicate
+// reporting whether an expression is tainted.
+func (t *Taint) Run(body ast.Node) func(ast.Expr) bool {
+	t.tainted = make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		InspectShallow(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if t.assign(s.Lhs, s.Rhs) {
+					changed = true
+				}
+			case *ast.DeclStmt:
+				gd, ok := s.Decl.(*ast.GenDecl)
+				if !ok {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) == 0 {
+						continue
+					}
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					if t.assign(lhs, vs.Values) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if t.Tainted(s.X) && s.Value != nil {
+					if t.mark(s.Value) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return t.Tainted
+}
+
+// assign marks LHS expressions whose RHS counterpart is tainted and
+// reports whether anything new was marked.
+func (t *Taint) assign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			if t.Tainted(rhs[i]) && t.mark(lhs[i]) {
+				changed = true
+			}
+		}
+	case len(rhs) == 1:
+		// Multi-value call or comma-ok: taint every LHS when the
+		// single RHS is tainted.
+		if t.Tainted(rhs[0]) {
+			for _, l := range lhs {
+				if t.mark(l) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// mark records the object behind an assignable expression as tainted.
+func (t *Taint) mark(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := t.Info.Defs[id]
+	if obj == nil {
+		obj = t.Info.Uses[id]
+	}
+	if obj == nil || t.tainted[obj] {
+		return false
+	}
+	t.tainted[obj] = true
+	return true
+}
+
+// Tainted reports whether e carries taint.
+func (t *Taint) Tainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	if t.Source != nil && t.Source(e) {
+		return true
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := t.Info.Uses[v]
+		if obj == nil {
+			obj = t.Info.Defs[v]
+		}
+		return obj != nil && t.tainted[obj]
+	case *ast.BinaryExpr:
+		return t.Tainted(v.X) || t.Tainted(v.Y)
+	case *ast.UnaryExpr:
+		return t.Tainted(v.X)
+	case *ast.IndexExpr:
+		return t.Tainted(v.X)
+	case *ast.SliceExpr:
+		return t.Tainted(v.X)
+	case *ast.CallExpr:
+		if t.Sanitize != nil && t.Sanitize(v) {
+			return false
+		}
+		if conv, ok := t.Info.Types[v.Fun]; ok && conv.IsType() && len(v.Args) == 1 {
+			return t.Tainted(v.Args[0]) // type conversion passes taint
+		}
+		if t.Propagate != nil && t.Propagate(v) {
+			for _, a := range v.Args {
+				if t.Tainted(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+// Package fixture is a tiny module the comtainer-vet end-to-end test
+// runs the multichecker against. It deliberately violates three of the
+// enforced invariants (digestcmp, atomicwrite, gonaked) and contains
+// one clean, suppressed site. It must not import comtainer/internal
+// packages: those are invisible across the module boundary.
+package fixture
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// IsDigest violates digestcmp: raw comparison against a sha256 literal.
+func IsDigest(s string) bool {
+	return s == "sha256:0000000000000000000000000000000000000000000000000000000000000000"
+}
+
+// WriteBlob violates atomicwrite: a direct write into a blobs/ store path.
+func WriteBlob(root string, data []byte) error {
+	return os.WriteFile(filepath.Join(root, "blobs", "x"), data, 0o644)
+}
+
+// Spawn violates gonaked: the goroutine is never joined.
+func Spawn(fn func()) {
+	go func() { fn() }()
+}
+
+// Allowed shows a suppressed site the vet must stay quiet about.
+func Allowed(s string) bool {
+	//comtainer:allow digestcmp -- fixture: deliberate raw comparison
+	return s == "sha256:ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+}

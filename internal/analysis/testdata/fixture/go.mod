@@ -1,0 +1,7 @@
+module fixture
+
+go 1.22
+
+require comtainer v0.0.0
+
+replace comtainer => ../../../..

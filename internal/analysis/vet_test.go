@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetEndToEnd builds and runs the comtainer-vet multichecker, as a
+// user would, over the fixture module in testdata/fixture. The fixture
+// violates digestcmp, atomicwrite, and gonaked once each and carries
+// one suppressed site, so the binary must exit 1 with exactly those
+// three diagnostics.
+func TestVetEndToEnd(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available")
+	}
+	fixture, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "comtainer/cmd/comtainer-vet", "./...")
+	cmd.Dir = fixture
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	if err == nil {
+		t.Fatalf("vet exited 0 over a fixture with known violations\nstdout:\n%s", out.String())
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 1 {
+		t.Fatalf("vet did not exit 1: %v\nstdout:\n%s\nstderr:\n%s", err, out.String(), stderr.String())
+	}
+
+	text := out.String()
+	lines := 0
+	for _, l := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	if lines != 3 {
+		t.Errorf("want exactly 3 diagnostics, got %d:\n%s", lines, text)
+	}
+	for _, name := range []string{"[digestcmp]", "[atomicwrite]", "[gonaked]"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("missing %s diagnostic in output:\n%s", name, text)
+		}
+	}
+	// The suppressed Allowed site must not appear.
+	if strings.Count(text, "[digestcmp]") != 1 {
+		t.Errorf("suppression failed: want exactly one digestcmp diagnostic:\n%s", text)
+	}
+}

@@ -1,6 +1,7 @@
 package containerfile
 
 import (
+	"errors"
 	"strconv"
 
 	"comtainer/internal/digest"
@@ -480,8 +481,10 @@ func (b *Builder) execCommand(state *stageState, argv []string) error {
 			if strings.HasPrefix(a, "-") {
 				continue
 			}
-			// -f semantics: missing targets are fine.
-			_ = state.fs.Remove(abs(a))
+			// -f semantics: missing targets are fine, anything else is not.
+			if err := state.fs.Remove(abs(a)); err != nil && !errors.Is(err, fsim.ErrNotExist) {
+				return fmt.Errorf("rm: %w", err)
+			}
 		}
 		return nil
 	case "cp":

@@ -39,6 +39,13 @@ func FromString(s string) Digest {
 	return FromBytes([]byte(s))
 }
 
+// FromHash returns the digest of the content accumulated in h, which
+// must be a sha256 hash. It is the typed alternative to assembling
+// "sha256:" + hex strings by hand at streaming call sites.
+func FromHash(h hash.Hash) Digest {
+	return Digest("sha256:" + hex.EncodeToString(h.Sum(nil)))
+}
+
 // FromReader computes the sha256 digest of everything readable from r.
 func FromReader(r io.Reader) (Digest, int64, error) {
 	h := sha256.New()
@@ -46,7 +53,7 @@ func FromReader(r io.Reader) (Digest, int64, error) {
 	if err != nil {
 		return "", 0, fmt.Errorf("digest: reading content: %w", err)
 	}
-	return Digest("sha256:" + hex.EncodeToString(h.Sum(nil))), n, nil
+	return FromHash(h), n, nil
 }
 
 // Parse validates s and returns it as a Digest.
@@ -126,6 +133,5 @@ func (v *Verifier) Write(p []byte) (int, error) { return v.h.Write(p) }
 // Verified reports whether all content written so far hashes to the
 // expected digest.
 func (v *Verifier) Verified() bool {
-	got := Digest("sha256:" + hex.EncodeToString(v.h.Sum(nil)))
-	return got == v.want
+	return FromHash(v.h) == v.want
 }

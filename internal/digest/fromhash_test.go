@@ -1,0 +1,20 @@
+package digest
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+func TestFromHashMatchesFromBytes(t *testing.T) {
+	for _, data := range [][]byte{nil, []byte("x"), []byte("the quick brown fox")} {
+		h := sha256.New()
+		h.Write(data)
+		got := FromHash(h)
+		if want := FromBytes(data); got != want {
+			t.Errorf("FromHash(%q) = %s, want %s", data, got, want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("FromHash(%q) produced invalid digest: %v", data, err)
+		}
+	}
+}

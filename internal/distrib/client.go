@@ -476,8 +476,14 @@ func (c *Client) FetchManifest(name, ref string) ([]byte, digest.Digest, string,
 			return fmt.Errorf("distrib: reading manifest: %w", err)
 		}
 		mediaType = resp.Header.Get("Content-Type")
-		if hd := resp.Header.Get("Docker-Content-Digest"); hd != "" && hd != string(digest.FromBytes(body)) {
-			return fmt.Errorf("distrib: manifest digest mismatch: header %s, content %s", hd, digest.FromBytes(body))
+		if hd := resp.Header.Get("Docker-Content-Digest"); hd != "" {
+			want, err := digest.Parse(hd)
+			if err != nil {
+				return fmt.Errorf("distrib: malformed Docker-Content-Digest header %q: %w", hd, err)
+			}
+			if got := digest.FromBytes(body); want != got {
+				return fmt.Errorf("distrib: manifest digest mismatch: header %s, content %s", want.Short(), got.Short())
+			}
 		}
 		return nil
 	})

@@ -128,15 +128,16 @@ func (t *DiskTags) Resolve(name, tag string) (oci.Descriptor, bool) {
 	return d, ok
 }
 
-// Set records desc under name:tag and persists it atomically.
+// Set records desc under name:tag and persists it atomically. The
+// temp file is prepared outside the lock; only the commit rename and
+// the write-through map update run under it, so the on-disk ref and
+// the in-memory map can never disagree about which Set won.
 func (t *DiskTags) Set(name, tag string, desc oci.Descriptor) error {
 	b, err := json.Marshal(desc)
 	if err != nil {
 		return fmt.Errorf("distrib: encoding ref: %w", err)
 	}
 	key := name + ":" + tag
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	tmp, err := os.CreateTemp(t.root, "ref-*")
 	if err != nil {
 		return fmt.Errorf("distrib: writing ref: %w", err)
@@ -150,11 +151,18 @@ func (t *DiskTags) Set(name, tag string, desc oci.Descriptor) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("distrib: writing ref: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), t.refFile(key)); err != nil {
-		os.Remove(tmp.Name())
+	tmpName := tmp.Name()
+	t.mu.Lock()
+	//comtainer:allow lockio -- rename must commit atomically with the map update
+	err = os.Rename(tmpName, t.refFile(key))
+	if err == nil {
+		t.m[key] = desc
+	}
+	t.mu.Unlock()
+	if err != nil {
+		os.Remove(tmpName)
 		return fmt.Errorf("distrib: committing ref %s: %w", key, err)
 	}
-	t.m[key] = desc
 	return nil
 }
 

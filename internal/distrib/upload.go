@@ -106,7 +106,11 @@ func (u *Upload) Size() int64 {
 // Append receives one chunk. When expectStart >= 0 it must equal the
 // bytes already received, otherwise ErrRangeMismatch is returned and
 // nothing is consumed from r; pass -1 to append unconditionally.
-// Returns the total size after the append.
+// Returns the total size after the append. The copy runs under the
+// session mutex on purpose: u.mu is what serializes writers of the
+// one spool file, so "outside the lock" does not exist here.
+//
+//comtainer:allow lockio -- the session mutex is the spool-file serializer
 func (u *Upload) Append(r io.Reader, expectStart int64) (int64, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()

@@ -2,6 +2,7 @@ package dpkg
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io/fs"
 	"sort"
@@ -155,8 +156,8 @@ func (db *DB) Remove(fsys *fsim.FS, name string) error {
 		}
 	}
 	delete(db.packages, name)
-	if fsys.Exists(InfoDir + "/" + name + ".list") {
-		_ = fsys.Remove(InfoDir + "/" + name + ".list")
+	if err := fsys.Remove(InfoDir + "/" + name + ".list"); err != nil && !errors.Is(err, fsim.ErrNotExist) {
+		return fmt.Errorf("dpkg: removing file list of %s: %w", name, err)
 	}
 	return db.writeStatus(fsys)
 }

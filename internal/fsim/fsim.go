@@ -462,7 +462,9 @@ func Apply(base, layer *FS) *FS {
 			}
 		case wh:
 			target := path.Join(path.Dir(p), strings.TrimPrefix(baseName, WhiteoutPrefix))
-			// Ignore error: whiteout of a missing path is a no-op.
+			// Whiteout of a missing path is a no-op by the OCI spec, and
+			// Remove on an in-memory FS has no other failure mode here.
+			//comtainer:allow errpropagate -- whiteout of a missing path is a spec-mandated no-op
 			_ = out.Remove(target)
 		default:
 			adds = append(adds, file)
@@ -471,6 +473,7 @@ func Apply(base, layer *FS) *FS {
 	for _, file := range adds {
 		// Replacing a directory with a non-directory removes the subtree.
 		if existing, err := out.Stat(file.Path); err == nil && existing.Type == TypeDir && file.Type != TypeDir {
+			//comtainer:allow errpropagate -- Stat just proved the path exists; Remove cannot fail
 			_ = out.Remove(file.Path)
 		}
 		out.Add(file.Clone())

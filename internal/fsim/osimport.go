@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path"
 	"path/filepath"
 	"strings"
 )
@@ -62,30 +63,65 @@ func ImportDir(dir string) (*FS, error) {
 	return out, nil
 }
 
+// SafeJoin joins an in-image path onto a host root directory,
+// guaranteeing the result stays lexically inside root. The image path is
+// cleaned as a rooted slash path first (so ".." components cannot climb),
+// and the joined result is verified to still have root as an ancestor —
+// the defense tar extractors and layer exporters must apply before
+// touching the host file system.
+func SafeJoin(root, name string) (string, error) {
+	cleaned := path.Clean("/" + filepath.ToSlash(name))
+	hostPath := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(cleaned, "/")))
+	if hostPath != root && !strings.HasPrefix(hostPath, root+string(filepath.Separator)) {
+		return "", fmt.Errorf("fsim: path %q escapes root %q", name, root)
+	}
+	return hostPath, nil
+}
+
 // ExportDir writes the FS content under dir on the host — the inverse of
 // ImportDir, used to unpack flattened images for external inspection.
+//
+// Two containment guards run per entry: SafeJoin keeps each target
+// lexically under dir, and the parent directory of every write is
+// resolved through EvalSymlinks and checked against the export root, so
+// an image carrying a symlinked ancestor ("/a" -> "/etc", then
+// "/a/passwd") cannot redirect writes outside dir.
 func (f *FS) ExportDir(dir string) error {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return fmt.Errorf("fsim: resolving export root %s: %w", dir, err)
+	}
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return fmt.Errorf("fsim: creating export root: %w", err)
+	}
+	resolvedRoot, err := filepath.EvalSymlinks(root)
+	if err != nil {
+		return fmt.Errorf("fsim: resolving export root %s: %w", dir, err)
+	}
 	for _, p := range f.Paths() {
 		file, err := f.Stat(p)
 		if err != nil {
 			continue
 		}
-		hostPath := filepath.Join(dir, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+		hostPath, err := SafeJoin(root, p)
+		if err != nil {
+			return fmt.Errorf("fsim: exporting %s: %w", p, err)
+		}
 		switch file.Type {
 		case TypeDir:
-			if err := os.MkdirAll(hostPath, 0o755); err != nil {
+			if err := makeContainedDir(resolvedRoot, hostPath); err != nil {
 				return fmt.Errorf("fsim: exporting %s: %w", p, err)
 			}
 		case TypeSymlink:
-			if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
-				return err
+			if err := makeContainedDir(resolvedRoot, filepath.Dir(hostPath)); err != nil {
+				return fmt.Errorf("fsim: exporting %s: %w", p, err)
 			}
 			if err := os.Symlink(file.Target, hostPath); err != nil && !os.IsExist(err) {
 				return fmt.Errorf("fsim: exporting symlink %s: %w", p, err)
 			}
 		case TypeRegular:
-			if err := os.MkdirAll(filepath.Dir(hostPath), 0o755); err != nil {
-				return err
+			if err := makeContainedDir(resolvedRoot, filepath.Dir(hostPath)); err != nil {
+				return fmt.Errorf("fsim: exporting %s: %w", p, err)
 			}
 			mode := file.Mode.Perm()
 			if mode == 0 {
@@ -97,4 +133,69 @@ func (f *FS) ExportDir(dir string) error {
 		}
 	}
 	return nil
+}
+
+// makeContainedDir verifies that dir, with symlinks resolved the way
+// the kernel will resolve them at write time, still lives under
+// resolvedRoot, then creates the resolved directory. The check must run
+// before creation: MkdirAll follows a pre-existing symlink at any
+// ancestor, so creating first would already have written outside the
+// root by the time a post-hoc check fired.
+func makeContainedDir(resolvedRoot, dir string) error {
+	real, err := resolveWithin(dir)
+	if err != nil {
+		return err
+	}
+	if real != resolvedRoot && !strings.HasPrefix(real, resolvedRoot+string(filepath.Separator)) {
+		return fmt.Errorf("directory resolves outside the export root (symlinked ancestor?): %s", dir)
+	}
+	return os.MkdirAll(real, 0o755)
+}
+
+// resolveWithin resolves p component by component, following symlinks —
+// including dangling ones whose targets do not exist yet — exactly as
+// the kernel would when the path is later opened. Components that do
+// not exist resolve to themselves. A chain of more than 40 links is
+// treated as a cycle.
+func resolveWithin(p string) (string, error) {
+	sep := string(filepath.Separator)
+	split := func(abs string) []string {
+		return strings.Split(strings.TrimPrefix(filepath.Clean(abs), sep), sep)
+	}
+	comps := split(p)
+	cur := sep
+	links := 0
+	for i := 0; i < len(comps); i++ {
+		c := comps[i]
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			cur = filepath.Dir(cur)
+			continue
+		}
+		next := filepath.Join(cur, c)
+		fi, err := os.Lstat(next)
+		if err != nil || fi.Mode()&os.ModeSymlink == 0 {
+			cur = next
+			continue
+		}
+		links++
+		if links > 40 {
+			return "", fmt.Errorf("fsim: too many symlinks resolving %s", p)
+		}
+		target, err := os.Readlink(next)
+		if err != nil {
+			return "", err
+		}
+		if !filepath.IsAbs(target) {
+			target = filepath.Join(cur, target)
+		}
+		// Restart resolution at the link target, keeping the
+		// unconsumed trailing components.
+		comps = append(split(target), comps[i+1:]...)
+		cur = sep
+		i = -1
+	}
+	return cur, nil
 }

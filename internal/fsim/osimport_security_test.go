@@ -1,0 +1,78 @@
+package fsim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSafeJoin(t *testing.T) {
+	root := filepath.Join(string(filepath.Separator), "export", "root")
+	good := []struct{ in, want string }{
+		{"/a/b", filepath.Join(root, "a", "b")},
+		{"a/b", filepath.Join(root, "a", "b")},
+		{"/", root},
+		{"/a/../b", filepath.Join(root, "b")},
+		// Rooted cleaning: a leading .. cannot climb above "/".
+		{"/../x", filepath.Join(root, "x")},
+		{"../x", filepath.Join(root, "x")},
+	}
+	for _, c := range good {
+		got, err := SafeJoin(root, c.in)
+		if err != nil {
+			t.Errorf("SafeJoin(%q, %q): unexpected error %v", root, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("SafeJoin(%q, %q) = %q, want %q", root, c.in, got, c.want)
+		}
+	}
+}
+
+// TestExportDirSymlinkAncestorEscape: an image carrying a symlink to
+// outside the export root plus a file beneath that symlink must not be
+// able to write through it.
+func TestExportDirSymlinkAncestorEscape(t *testing.T) {
+	base := t.TempDir()
+	outside := filepath.Join(base, "outside")
+	if err := os.MkdirAll(outside, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	export := filepath.Join(base, "export")
+
+	fs := New()
+	fs.Symlink("../outside", "/a")
+	fs.WriteFile("/a/payload", []byte("owned"), 0o644)
+
+	err := fs.ExportDir(export)
+	if err == nil {
+		t.Fatal("ExportDir succeeded despite a symlinked ancestor escaping the root")
+	}
+	if !strings.Contains(err.Error(), "export root") {
+		t.Errorf("error %q does not mention the export root", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(outside, "payload")); statErr == nil {
+		t.Error("payload was written outside the export root")
+	}
+}
+
+// TestExportDirSymlinkInsideRootOK: symlinks that stay inside the
+// export tree keep working.
+func TestExportDirSymlinkInsideRootOK(t *testing.T) {
+	export := filepath.Join(t.TempDir(), "export")
+
+	fs := New()
+	fs.MkdirAll("/real", 0o755)
+	fs.Symlink("real", "/alias")
+	fs.WriteFile("/alias/file", []byte("ok"), 0o644)
+	fs.WriteFile("/real/other", []byte("ok"), 0o644)
+
+	if err := fs.ExportDir(export); err != nil {
+		t.Fatalf("ExportDir failed on an internal symlink: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(export, "real", "file"))
+	if err != nil || string(got) != "ok" {
+		t.Errorf("write through internal symlink lost: %v %q", err, got)
+	}
+}

@@ -70,14 +70,43 @@ func (r *Repository) PushImage(src *Store, desc Descriptor, tag string) error {
 	return nil
 }
 
+// writeFileAtomic commits data to path via a temp file in the same
+// directory plus os.Rename, so a crash mid-write never leaves a torn
+// file at an addressable layout path.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, mode)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	return nil
+}
+
 // SaveLayout writes the repository as an OCI layout directory: an
-// oci-layout marker, index.json, and blobs/sha256/<hex> files.
+// oci-layout marker, index.json, and blobs/sha256/<hex> files. Every
+// file is committed atomically (temp + rename): blobs because they are
+// content-addressed and must never exist torn, index.json because it
+// is the root a reader trusts.
 func (r *Repository) SaveLayout(dir string) error {
 	blobDir := filepath.Join(dir, "blobs", "sha256")
 	if err := os.MkdirAll(blobDir, 0o755); err != nil {
 		return fmt.Errorf("oci: creating layout dir: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "oci-layout"), []byte(layoutMarker), 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, "oci-layout"), []byte(layoutMarker), 0o644); err != nil {
 		return fmt.Errorf("oci: writing layout marker: %w", err)
 	}
 	for _, d := range r.Store.Digests() {
@@ -85,7 +114,7 @@ func (r *Repository) SaveLayout(dir string) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(blobDir, d.Hex()), b, 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(blobDir, d.Hex()), b, 0o644); err != nil {
 			return fmt.Errorf("oci: writing blob %s: %w", d.Short(), err)
 		}
 	}
@@ -93,7 +122,7 @@ func (r *Repository) SaveLayout(dir string) error {
 	if err != nil {
 		return fmt.Errorf("oci: encoding index: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
 		return fmt.Errorf("oci: writing index.json: %w", err)
 	}
 	return nil

@@ -1,0 +1,63 @@
+package tarfs
+
+import (
+	"archive/tar"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// rawTar builds a one-entry archive with an arbitrary (possibly
+// malicious) entry name, bypassing Marshal's own path handling.
+func rawTar(t *testing.T, name string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	data := []byte("owned")
+	hdr := &tar.Header{Name: name, Mode: 0o644, Size: int64(len(data)), Typeflag: tar.TypeReg}
+	if err := tw.WriteHeader(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestUnmarshalRejectsEscapingNames is the Zip-Slip regression test: a
+// crafted layer whose entry names climb out of the archive root or are
+// absolute must be rejected, not silently re-rooted.
+func TestUnmarshalRejectsEscapingNames(t *testing.T) {
+	cases := []struct{ name, wantErr string }{
+		{"../escape", "escapes"},
+		{"a/../../escape", "escapes"},
+		{"..", "escapes"},
+		{"../../../../etc/cron.d/evil", "escapes"},
+		{"/etc/passwd", "absolute"},
+	}
+	for _, c := range cases {
+		_, err := Unmarshal(rawTar(t, c.name))
+		if err == nil {
+			t.Errorf("Unmarshal accepted malicious entry %q", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("entry %q: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestUnmarshalNormalizesInteriorDotDot: ".." that stays inside the
+// root is legal tar and must normalize, not fail.
+func TestUnmarshalNormalizesInteriorDotDot(t *testing.T) {
+	fs, err := Unmarshal(rawTar(t, "a/../b"))
+	if err != nil {
+		t.Fatalf("Unmarshal rejected a contained interior ..: %v", err)
+	}
+	if !fs.Exists("/b") {
+		t.Errorf("entry a/../b did not normalize to /b; have %v", fs.Paths())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"path"
 	"strings"
 	"time"
 
@@ -69,8 +70,29 @@ func Marshal(fs *fsim.FS) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// safeEntryName sanitizes a tar entry name into a rooted in-image path.
+// Absolute names and names that climb out of the archive root with ".."
+// are rejected rather than silently re-rooted: a layer carrying such
+// entries is malformed at best and a path-traversal attempt at worst,
+// and must never influence paths outside the image it describes.
+func safeEntryName(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("tarfs: empty entry name")
+	}
+	if strings.HasPrefix(name, "/") {
+		return "", fmt.Errorf("tarfs: absolute entry name %q", name)
+	}
+	cleaned := path.Clean(name)
+	if cleaned == ".." || strings.HasPrefix(cleaned, "../") {
+		return "", fmt.Errorf("tarfs: entry name %q escapes the archive root", name)
+	}
+	return fsim.Clean("/" + cleaned), nil
+}
+
 // Unmarshal decodes a tar archive into a file system. Whiteout entries are
-// preserved verbatim as files so that fsim.Apply can interpret them.
+// preserved verbatim as files so that fsim.Apply can interpret them. Entry
+// names are validated by safeEntryName; archives with absolute or
+// root-escaping names are rejected.
 func Unmarshal(data []byte) (*fsim.FS, error) {
 	tr := tar.NewReader(bytes.NewReader(data))
 	out := fsim.New()
@@ -82,7 +104,10 @@ func Unmarshal(data []byte) (*fsim.FS, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tarfs: reading archive: %w", err)
 		}
-		p := fsim.Clean(hdr.Name)
+		p, err := safeEntryName(hdr.Name)
+		if err != nil {
+			return nil, err
+		}
 		mode := hdr.FileInfo().Mode().Perm()
 		switch hdr.Typeflag {
 		case tar.TypeDir:

@@ -16,6 +16,18 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== comtainer-vet =="
+# The repository's own analyzer suite (digestcmp, atomicwrite, lockio,
+# safejoin, errpropagate, gonaked). Diagnostics are printed as
+# path:line:col: [analyzer] message — the [analyzer] tag names the
+# invariant that failed; see DESIGN.md "Static analysis".
+if ! go run ./cmd/comtainer-vet ./...; then
+    echo "comtainer-vet FAILED: an invariant above was violated." >&2
+    echo "Fix the finding or, for a deliberate exception, add" >&2
+    echo "  //comtainer:allow <analyzer> -- <reason>" >&2
+    exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
