@@ -8,6 +8,7 @@
 package comtainer
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -662,7 +663,7 @@ func BenchmarkParallelPull(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := push.Push(user.Repo, res.ExtendedTag, app.Name, "v1"); err != nil {
+		if err := push.Push(context.Background(), user.Repo, res.ExtendedTag, app.Name, "v1"); err != nil {
 			b.Fatal(err)
 		}
 		names = append(names, app.Name)
@@ -675,7 +676,7 @@ func BenchmarkParallelPull(b *testing.B) {
 		before := atomic.LoadInt64(&blobGets)
 		t0 := time.Now()
 		for _, name := range names {
-			if err := c.Pull(dst, name, "v1", name); err != nil {
+			if err := c.Pull(context.Background(), dst, name, "v1", name); err != nil {
 				b.Fatal(err)
 			}
 		}

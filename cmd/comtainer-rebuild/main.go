@@ -54,7 +54,10 @@ func buildMemo(cacheDir, cacheRemote string, cacheCap int64) (*actioncache.Memoi
 		local = disk
 	}
 	if cacheRemote != "" {
-		remote = actioncache.NewRemoteCache(cacheRemote, "")
+		// The breaker sheds calls to a down registry after a few
+		// consecutive failures, so a rebuild degrades to the local tier
+		// instead of paying a network timeout per action.
+		remote = actioncache.NewBreaker(actioncache.NewRemoteCache(cacheRemote, ""))
 	}
 	tiers := actioncache.NewTiered(local, remote)
 	if tiers == nil {

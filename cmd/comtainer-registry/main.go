@@ -8,10 +8,20 @@
 //
 // Usage:
 //
-//	comtainer-registry -addr 127.0.0.1:5000 [-data /var/lib/comtainer-registry] [-gc]
+//	comtainer-registry -addr 127.0.0.1:5000 [-data /var/lib/comtainer-registry] [-gc] [-fsck] [-upload-ttl 1h]
 //
 // -gc runs reference-counting garbage collection on startup, deleting
 // every blob unreachable from the tagged manifests.
+//
+// -fsck (requires -data) runs a full consistency repair on startup:
+// every blob is rehashed against its name, corrupt or misplaced files
+// are quarantined, orphaned upload temps are removed and tags pointing
+// at missing manifests are swept, with a report printed before
+// serving. A lighter version of the same recovery (temp sweep, corrupt
+// quarantine, dangling-ref sweep) runs on every -data open regardless.
+//
+// -upload-ttl expires upload sessions idle longer than the given
+// duration, reclaiming their spool files (0 disables expiry).
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"comtainer/internal/registry"
 )
@@ -27,6 +38,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5000", "listen address")
 	data := flag.String("data", "", "persist blobs and tags under this directory (default: in memory)")
 	gc := flag.Bool("gc", false, "garbage-collect unreachable blobs on startup")
+	fsck := flag.Bool("fsck", false, "verify and repair the blob store on startup (requires -data)")
+	uploadTTL := flag.Duration("upload-ttl", time.Hour, "expire upload sessions idle longer than this (0 = never)")
 	flag.Parse()
 
 	var srv *registry.Server
@@ -40,6 +53,17 @@ func main() {
 	} else {
 		srv = registry.NewServer()
 		fmt.Println("comtainer-registry running in memory (use -data to persist)")
+	}
+	srv.SetUploadTTL(*uploadTTL)
+	if *fsck {
+		rep, swept, err := srv.Fsck(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+		for _, ref := range swept {
+			fmt.Printf("fsck: swept dangling ref %s\n", ref)
+		}
 	}
 	if *gc {
 		dropped, err := srv.GC()

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -44,6 +45,7 @@ func serve(dataDir string) (string, func(), error) {
 }
 
 func main() {
+	ctx := context.Background()
 	dataDir, err := os.MkdirTemp("", "comtainer-registry-*")
 	if err != nil {
 		log.Fatal(err)
@@ -71,10 +73,10 @@ func main() {
 	}
 	client := registry.NewClient(base)
 	client.Workers = 8
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if err := client.Push(user.Repo, res.ExtendedTag, "user/hpcg", "v1"); err != nil {
+	if err := client.Push(ctx, user.Repo, res.ExtendedTag, "user/hpcg", "v1"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pushed %s as user/hpcg:v1 (8 parallel layer uploads)\n", res.ExtendedTag)
@@ -97,7 +99,7 @@ func main() {
 	}
 	client = registry.NewClient(base)
 	client.Workers = 8
-	if err := client.Pull(system.Repo, "user/hpcg", "v1", res.ExtendedTag); err != nil {
+	if err := client.Pull(ctx, system.Repo, "user/hpcg", "v1", res.ExtendedTag); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pulled user/hpcg:v1 on the %s system (parallel layer fetch)\n", sys.Name)

@@ -1,0 +1,180 @@
+package actioncache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comtainer/internal/digest"
+)
+
+// ErrOpen is returned by a Breaker that is failing fast: the wrapped
+// tier has failed too many times in a row and calls are being shed
+// until the cooldown lapses.
+var ErrOpen = errors.New("actioncache: circuit breaker open")
+
+// Breaker state machine: closed (calls pass, consecutive failures
+// counted) → open after Threshold failures (calls fail fast with
+// ErrOpen, costing nothing) → half-open after Cooldown (exactly one
+// probe call passes; success closes the breaker, failure re-opens it).
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// Breaker wraps a Cache tier — typically the RemoteCache — in a
+// circuit breaker, so a registry that is down or misbehaving costs
+// each rebuild one fast ErrOpen instead of a full timeout-and-retry
+// cycle per action. Stacked under Tiered (which treats remote errors
+// as soft misses) the effect is automatic degradation to local-only
+// operation, with periodic half-open probes to notice recovery.
+// Safe for concurrent use.
+type Breaker struct {
+	inner Cache
+
+	// Threshold is how many consecutive failures trip the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+
+	shed atomic.Int64
+}
+
+// NewBreaker wraps inner with default threshold and cooldown.
+func NewBreaker(inner Cache) *Breaker {
+	return &Breaker{inner: inner}
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 30 * time.Second
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// State reports the current state as a word (for logs and tests).
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Shed returns how many calls were refused with ErrOpen.
+func (b *Breaker) Shed() int64 { return b.shed.Load() }
+
+// allow decides whether a call may proceed. In the open state it
+// transitions to half-open once the cooldown has lapsed and admits
+// exactly one probe; everything else is shed.
+func (b *Breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return nil
+	case stateOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			b.shed.Add(1)
+			return ErrOpen
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			b.shed.Add(1)
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record feeds a call outcome back into the state machine.
+func (b *Breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+		if err == nil {
+			b.state = stateClosed
+			b.failures = 0
+		} else {
+			b.state = stateOpen
+			b.openedAt = b.clock()
+		}
+		return
+	}
+	if err == nil {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold() {
+		b.state = stateOpen
+		b.openedAt = b.clock()
+	}
+}
+
+// Get passes through to the wrapped tier unless the breaker is open.
+// A miss is a success — only errors count against the tier.
+func (b *Breaker) Get(key digest.Digest) ([]byte, bool, error) {
+	if err := b.allow(); err != nil {
+		return nil, false, err
+	}
+	val, ok, err := b.inner.Get(key)
+	b.record(err)
+	if err != nil {
+		return nil, false, fmt.Errorf("actioncache: breaker: %w", err)
+	}
+	return val, ok, nil
+}
+
+// Put passes through to the wrapped tier unless the breaker is open.
+func (b *Breaker) Put(key digest.Digest, val []byte) error {
+	if err := b.allow(); err != nil {
+		return err
+	}
+	err := b.inner.Put(key, val)
+	b.record(err)
+	if err != nil {
+		return fmt.Errorf("actioncache: breaker: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the wrapped tier's counters.
+func (b *Breaker) Stats() Stats { return b.inner.Stats() }

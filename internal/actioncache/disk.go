@@ -2,6 +2,7 @@ package actioncache
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"comtainer/internal/digest"
+	"comtainer/internal/faultinject"
 )
 
 // DiskCache is the local tier: entries sharded on disk as
@@ -26,6 +28,7 @@ import (
 type DiskCache struct {
 	root     string
 	maxBytes int64 // 0 = unbounded
+	fs       faultinject.FS
 
 	mu      sync.Mutex
 	entries map[digest.Digest]*diskEntry
@@ -47,13 +50,20 @@ const entryMagic = "COMT-AC1 "
 // clears stale temp files, and indexes existing entries. maxBytes of
 // 0 disables eviction.
 func NewDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	return NewDiskCacheFS(dir, maxBytes, faultinject.OS())
+}
+
+// NewDiskCacheFS is NewDiskCache writing through fsys — the hook chaos
+// tests use to inject write faults and power cuts.
+func NewDiskCacheFS(dir string, maxBytes int64, fsys faultinject.FS) (*DiskCache, error) {
 	c := &DiskCache{
 		root:     dir,
 		maxBytes: maxBytes,
+		fs:       fsys,
 		entries:  make(map[digest.Digest]*diskEntry),
 	}
 	for _, d := range []string{filepath.Join(dir, "entries", "sha256"), c.tmpDir()} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("actioncache: creating %s: %w", d, err)
 		}
 	}
@@ -61,7 +71,9 @@ func NewDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
 	// process; it can never be completed.
 	if names, err := os.ReadDir(c.tmpDir()); err == nil {
 		for _, n := range names {
-			os.Remove(filepath.Join(c.tmpDir(), n.Name()))
+			if err := fsys.Remove(filepath.Join(c.tmpDir(), n.Name())); err != nil {
+				return nil, fmt.Errorf("actioncache: sweeping temp %s: %w", n.Name(), err)
+			}
 		}
 	}
 	if err := c.index(); err != nil {
@@ -128,7 +140,7 @@ func (c *DiskCache) Get(key digest.Digest) ([]byte, bool, error) {
 	c.mu.Unlock()
 
 	p := c.entryPath(key)
-	raw, err := os.ReadFile(p)
+	raw, err := c.readEntry(p)
 	if err != nil {
 		c.drop(key)
 		c.errors.Add(1)
@@ -138,7 +150,7 @@ func (c *DiskCache) Get(key digest.Digest) ([]byte, bool, error) {
 	val, err := decodeEntry(raw)
 	if err != nil {
 		// Bit rot or a truncated write: self-heal by discarding.
-		os.Remove(p)
+		c.fs.Remove(p)
 		c.drop(key)
 		c.errors.Add(1)
 		c.misses.Add(1)
@@ -150,6 +162,16 @@ func (c *DiskCache) Get(key digest.Digest) ([]byte, bool, error) {
 	return val, true, nil
 }
 
+// readEntry slurps an entry file through the FS seam.
+func (c *DiskCache) readEntry(p string) ([]byte, error) {
+	f, err := c.fs.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
 // Put stores val under key atomically and evicts LRU entries if the
 // cache exceeds its cap.
 func (c *DiskCache) Put(key digest.Digest, val []byte) error {
@@ -158,28 +180,28 @@ func (c *DiskCache) Put(key digest.Digest, val []byte) error {
 	}
 	data := encodeEntry(val)
 	p := c.entryPath(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	if err := c.fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: creating shard dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.tmpDir(), "put-*")
+	tmp, err := c.fs.CreateTemp(c.tmpDir(), "put-*")
 	if err != nil {
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: creating temp entry: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: writing entry: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		c.fs.Remove(tmp.Name())
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: closing entry: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp.Name(), p); err != nil {
+		c.fs.Remove(tmp.Name())
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: committing entry: %w", err)
 	}
@@ -195,7 +217,7 @@ func (c *DiskCache) Put(key digest.Digest, val []byte) error {
 	c.mu.Unlock()
 
 	for _, v := range victims {
-		os.Remove(c.entryPath(v))
+		c.fs.Remove(c.entryPath(v))
 	}
 	return nil
 }

@@ -1,9 +1,11 @@
 package actioncache
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"comtainer/internal/digest"
 	"comtainer/internal/distrib"
@@ -28,7 +30,28 @@ type RemoteCache struct {
 	client *distrib.Client
 	repo   string
 
+	// Timeout bounds each Get/Put when the caller supplies no deadline
+	// of its own, so a wedged registry can never hang a rebuild
+	// indefinitely. Defaults to 30s; set negative to disable.
+	Timeout time.Duration
+
 	hits, misses, errors atomic.Int64
+}
+
+// defaultRemoteTimeout is the per-operation deadline applied when
+// RemoteCache.Timeout is zero.
+const defaultRemoteTimeout = 30 * time.Second
+
+// opCtx derives the per-operation context from ctx and c.Timeout.
+func (c *RemoteCache) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	d := c.Timeout
+	if d == 0 {
+		d = defaultRemoteTimeout
+	}
+	if d < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // NewRemoteCache returns a remote tier talking to the registry at
@@ -52,10 +75,19 @@ func NewRemoteCacheClient(client *distrib.Client, repo string) *RemoteCache {
 
 func (c *RemoteCache) tag(key digest.Digest) string { return "ac-" + key.Hex() }
 
-// Get fetches the entry tagged for key. A 404 on the manifest is a
-// clean miss; any other failure is a tier error.
+// Get fetches the entry tagged for key under the default per-op
+// deadline. A 404 on the manifest is a clean miss; any other failure
+// is a tier error.
 func (c *RemoteCache) Get(key digest.Digest) ([]byte, bool, error) {
-	body, _, _, err := c.client.FetchManifest(c.repo, c.tag(key))
+	return c.GetContext(context.Background(), key)
+}
+
+// GetContext is Get honoring ctx: cancelling it aborts the transfer
+// and any retry backoff. The per-op Timeout still applies on top.
+func (c *RemoteCache) GetContext(ctx context.Context, key digest.Digest) ([]byte, bool, error) {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	body, _, _, err := c.client.FetchManifest(ctx, c.repo, c.tag(key))
 	if err != nil {
 		if distrib.IsNotFound(err) {
 			c.misses.Add(1)
@@ -70,7 +102,7 @@ func (c *RemoteCache) Get(key digest.Digest) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("actioncache: remote entry %s has malformed manifest", key.Short())
 	}
 	mem := oci.NewStore()
-	if err := c.client.FetchBlob(mem, c.repo, m.Layers[0].Digest); err != nil {
+	if err := c.client.FetchBlob(ctx, mem, c.repo, m.Layers[0].Digest); err != nil {
 		c.errors.Add(1)
 		return nil, false, fmt.Errorf("actioncache: fetching remote entry %s: %w", key.Short(), err)
 	}
@@ -83,10 +115,18 @@ func (c *RemoteCache) Get(key digest.Digest) ([]byte, bool, error) {
 	return val, true, nil
 }
 
-// Put publishes val as a blob plus a tagged one-layer manifest. The
-// blob is pushed before the manifest so the registry's referential
-// check always passes.
+// Put publishes val as a blob plus a tagged one-layer manifest under
+// the default per-op deadline. The blob is pushed before the manifest
+// so the registry's referential check always passes.
 func (c *RemoteCache) Put(key digest.Digest, val []byte) error {
+	return c.PutContext(context.Background(), key, val)
+}
+
+// PutContext is Put honoring ctx: cancelling it aborts the transfer
+// and any retry backoff. The per-op Timeout still applies on top.
+func (c *RemoteCache) PutContext(ctx context.Context, key digest.Digest, val []byte) error {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	mem := oci.NewStore()
 	vd := mem.Put(val)
 	manifest := oci.Manifest{
@@ -105,7 +145,7 @@ func (c *RemoteCache) Put(key digest.Digest, val []byte) error {
 	}
 	md := mem.Put(mb)
 	desc := oci.Descriptor{MediaType: oci.MediaTypeManifest, Digest: md, Size: int64(len(mb))}
-	if err := c.client.PushImage(mem, desc, c.repo, c.tag(key)); err != nil {
+	if err := c.client.PushImage(ctx, mem, desc, c.repo, c.tag(key)); err != nil {
 		c.errors.Add(1)
 		return fmt.Errorf("actioncache: pushing remote entry %s: %w", key.Short(), err)
 	}

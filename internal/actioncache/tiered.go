@@ -32,14 +32,20 @@ func NewTiered(local, remote Cache) Cache {
 	return &Tiered{local: local, remote: remote}
 }
 
-// Get checks local, then remote; a remote hit back-fills local.
+// Get checks local, then remote; a remote hit back-fills local. A
+// remote tier error (including a breaker failing fast) is counted and
+// degraded to a miss — the build recomputes rather than fails.
 func (t *Tiered) Get(key digest.Digest) ([]byte, bool, error) {
 	if val, ok, err := t.local.Get(key); err == nil && ok {
 		return val, true, nil
 	}
 	val, ok, err := t.remote.Get(key)
-	if err != nil || !ok {
-		return nil, false, err
+	if err != nil {
+		t.errors.Add(1)
+		return nil, false, nil
+	}
+	if !ok {
+		return nil, false, nil
 	}
 	if perr := t.local.Put(key, val); perr == nil {
 		t.fills.Add(1)

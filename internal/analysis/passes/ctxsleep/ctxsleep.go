@@ -1,0 +1,72 @@
+// Package ctxsleep bans raw time.Sleep inside loops: a sleep in a
+// retry loop is an uncancellable wait — a caller that cancels its
+// context still blocks for the full backoff, multiplied by the retry
+// budget. The repo invariant (what distrib.Client's sleepCtx encodes)
+// is that every backoff waits on a time.Timer raced against
+// ctx.Done(), so cancellation aborts within one timer tick.
+// time.Sleep outside a loop — a one-shot settle delay in setup code —
+// is left alone.
+package ctxsleep
+
+import (
+	"go/ast"
+
+	"comtainer/internal/analysis"
+)
+
+// Analyzer flags time.Sleep calls inside for/range loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxsleep",
+	Doc: "no raw time.Sleep inside a loop; retry backoff must select a " +
+		"time.Timer against ctx.Done() so cancellation is not held hostage",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			checkBody(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch v := n.(type) {
+		case *ast.ForStmt:
+			loopBody = v.Body
+		case *ast.RangeStmt:
+			loopBody = v.Body
+		default:
+			return true
+		}
+		// The loop body is inspected in full, including nested loops
+		// (they re-match above; a second report at the same position is
+		// harmless because ast.Inspect below only reports Sleep calls).
+		ast.Inspect(loopBody, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				// A function literal is its own scope; its body is
+				// checked when FuncScopes visits it.
+				_ = lit
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isTimeSleep(pass, call) {
+				pass.Reportf(call.Pos(), "raw time.Sleep in a loop: back off with a time.Timer selected against ctx.Done() instead")
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// isTimeSleep reports whether call is time.Sleep.
+func isTimeSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}

@@ -1,0 +1,12 @@
+package ctxsleep_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/ctxsleep"
+)
+
+func TestCtxsleep(t *testing.T) {
+	analysistest.Run(t, ctxsleep.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,60 @@
+// Package a exercises the ctxsleep analyzer.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func retryLoop(n int) {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want `raw time.Sleep in a loop`
+	}
+}
+
+func rangeLoop(xs []int) {
+	for range xs {
+		time.Sleep(time.Millisecond) // want `raw time.Sleep in a loop`
+	}
+}
+
+func nestedBlock(n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(time.Millisecond) // want `raw time.Sleep in a loop`
+		}
+	}
+}
+
+func oneShotSettle() {
+	time.Sleep(time.Millisecond) // outside a loop: allowed
+}
+
+func timerBackoff(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		t := time.NewTimer(time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return nil
+}
+
+func literalIsOwnScope(n int) func() {
+	for i := 0; i < n; i++ {
+		_ = func() {
+			time.Sleep(time.Millisecond) // literal body outside any loop of its own: allowed
+		}
+	}
+	return nil
+}
+
+func allowed(n int) {
+	for i := 0; i < n; i++ {
+		//comtainer:allow ctxsleep -- test fixture pacing, no ctx in scope
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -4,6 +4,7 @@ package passes
 import (
 	"comtainer/internal/analysis"
 	"comtainer/internal/analysis/passes/atomicwrite"
+	"comtainer/internal/analysis/passes/ctxsleep"
 	"comtainer/internal/analysis/passes/digestcmp"
 	"comtainer/internal/analysis/passes/errpropagate"
 	"comtainer/internal/analysis/passes/gonaked"
@@ -21,5 +22,6 @@ func All() analysis.Suite {
 		safejoin.Analyzer,
 		errpropagate.Analyzer,
 		gonaked.Analyzer,
+		ctxsleep.Analyzer,
 	}
 }

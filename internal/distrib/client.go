@@ -2,14 +2,17 @@ package distrib
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"comtainer/internal/digest"
@@ -21,6 +24,12 @@ import (
 // deduplicated (singleflight), blobs the other side already holds are
 // skipped, and transient failures (5xx, network errors, short reads)
 // retry with exponential backoff.
+//
+// Every method takes a context: cancelling it aborts in-flight
+// requests and any retry/backoff wait within one timer tick — there is
+// no uncancellable sleep anywhere on the retry path. Interrupted blob
+// downloads resume with HTTP Range requests from the bytes already
+// received instead of restarting.
 type Client struct {
 	// Base is the registry root, e.g. "http://127.0.0.1:5000".
 	Base string
@@ -34,6 +43,11 @@ type Client struct {
 	Retries int
 	// RetryBackoff is the initial backoff, doubled per retry (default 25ms).
 	RetryBackoff time.Duration
+	// OpTimeout, when positive, bounds each network attempt with a
+	// deadline; the attempt is retried (the parent context permitting)
+	// rather than hanging on a stalled registry. Zero disables the
+	// per-attempt deadline.
+	OpTimeout time.Duration
 
 	flights flightGroup
 }
@@ -121,27 +135,92 @@ func IsNotFound(err error) bool {
 	return errors.As(err, &he) && he.Code == http.StatusNotFound
 }
 
-// transient reports whether err is worth retrying: server-side errors
-// and transport/short-read failures are, client errors (4xx) are not.
+// transient reports whether err is worth retrying.
+//
+// Retryable: server-side statuses (5xx, 429, 408, and 416 — the
+// resume-offset handshake restarts from scratch), truncated bodies
+// (io.ErrUnexpectedEOF), connection resets/refusals and other
+// transport-level failures, and per-attempt deadline expiry.
+//
+// Permanent: other 4xx client errors, and context cancellation — a
+// caller that cancelled must never be held for another attempt.
 func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
 	var he *httpStatusError
 	if errors.As(err, &he) {
-		return he.Code >= 500 || he.Code == http.StatusTooManyRequests || he.Code == http.StatusRequestTimeout
+		return he.Code >= 500 ||
+			he.Code == http.StatusTooManyRequests ||
+			he.Code == http.StatusRequestTimeout ||
+			he.Code == http.StatusRequestedRangeNotSatisfiable
 	}
+	switch {
+	case errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, io.ErrClosedPipe),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE),
+		errors.Is(err, context.DeadlineExceeded):
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	// Unknown failure (e.g. a digest mismatch from a corrupted body):
+	// assume transient; the retry budget bounds the damage.
 	return true
 }
 
+// sleepCtx waits for d or until ctx is cancelled, whichever comes
+// first — the cancellation-aware replacement for time.Sleep on the
+// retry path.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// attempt runs fn once under the per-attempt deadline, if configured.
+func (c *Client) attempt(ctx context.Context, fn func(context.Context) error) error {
+	if c.OpTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.OpTimeout)
+		defer cancel()
+	}
+	return fn(ctx)
+}
+
 // withRetry runs fn, retrying transient failures with exponential
-// backoff up to c.Retries times.
-func (c *Client) withRetry(fn func() error) error {
+// backoff up to c.Retries times. Cancelling ctx aborts both the
+// in-flight attempt and any backoff wait.
+func (c *Client) withRetry(ctx context.Context, fn func(context.Context) error) error {
 	backoff := c.backoff()
 	var err error
 	for attempt := 0; ; attempt++ {
-		err = fn()
+		err = c.attempt(ctx, fn)
 		if err == nil || !transient(err) || attempt >= c.retries() {
 			return err
 		}
-		time.Sleep(backoff)
+		if ctx.Err() != nil {
+			// The parent was cancelled (fn may have surfaced it as a
+			// wrapped transport error): stop retrying immediately and
+			// report the cancellation, keeping the last failure for
+			// the log line.
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+		}
+		if serr := sleepCtx(ctx, backoff); serr != nil {
+			return fmt.Errorf("%w (last attempt: %v)", serr, err)
+		}
 		backoff *= 2
 	}
 }
@@ -172,9 +251,18 @@ func (c *Client) runPool(tasks []func() error) error {
 	return first
 }
 
+// get issues a GET with the context attached.
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.httpClient().Do(req)
+}
+
 // Ping checks the registry is alive.
-func (c *Client) Ping() error {
-	resp, err := c.httpClient().Get(c.Base + "/v2/")
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.get(ctx, c.Base+"/v2/")
 	if err != nil {
 		return fmt.Errorf("distrib: ping: %w", err)
 	}
@@ -186,8 +274,8 @@ func (c *Client) Ping() error {
 }
 
 // ListTags returns the sorted tags of repository name.
-func (c *Client) ListTags(name string) ([]string, error) {
-	resp, err := c.httpClient().Get(c.url(name, "tags", "list"))
+func (c *Client) ListTags(ctx context.Context, name string) ([]string, error) {
+	resp, err := c.get(ctx, c.url(name, "tags", "list"))
 	if err != nil {
 		return nil, err
 	}
@@ -206,8 +294,8 @@ func (c *Client) ListTags(name string) ([]string, error) {
 
 // HasBlob asks the registry (HEAD) whether it already holds blob d —
 // the cross-image dedup probe.
-func (c *Client) HasBlob(name string, d digest.Digest) (bool, error) {
-	req, err := http.NewRequest(http.MethodHead, c.url(name, "blobs", string(d)), nil)
+func (c *Client) HasBlob(ctx context.Context, name string, d digest.Digest) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.url(name, "blobs", string(d)), nil)
 	if err != nil {
 		return false, err
 	}
@@ -229,8 +317,12 @@ func (c *Client) HasBlob(name string, d digest.Digest) (bool, error) {
 // --- push side ---
 
 // startUpload opens an upload session and returns its absolute URL.
-func (c *Client) startUpload(name string) (string, error) {
-	resp, err := c.httpClient().Post(c.url(name, "blobs", "uploads")+"/", "", nil)
+func (c *Client) startUpload(ctx context.Context, name string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(name, "blobs", "uploads")+"/", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return "", fmt.Errorf("distrib: starting upload: %w", err)
 	}
@@ -249,8 +341,8 @@ func (c *Client) startUpload(name string) (string, error) {
 }
 
 // uploadOffset queries a session for its committed offset.
-func (c *Client) uploadOffset(loc string) (int64, error) {
-	resp, err := c.httpClient().Get(loc)
+func (c *Client) uploadOffset(ctx context.Context, loc string) (int64, error) {
+	resp, err := c.get(ctx, loc)
 	if err != nil {
 		return 0, err
 	}
@@ -280,7 +372,7 @@ func parseUploadRange(rng string) (int64, error) {
 }
 
 // sendChunks PATCHes the remainder of blob d starting at offset.
-func (c *Client) sendChunks(loc string, src BlobSource, d digest.Digest, offset int64) error {
+func (c *Client) sendChunks(ctx context.Context, loc string, src BlobSource, d digest.Digest, offset int64) error {
 	r, size, err := src.Open(d)
 	if err != nil {
 		return err
@@ -303,7 +395,7 @@ func (c *Client) sendChunks(loc string, src BlobSource, d digest.Digest, offset 
 		if n == 0 {
 			break
 		}
-		req, err := http.NewRequest(http.MethodPatch, loc, bytes.NewReader(buf[:n]))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPatch, loc, bytes.NewReader(buf[:n]))
 		if err != nil {
 			return err
 		}
@@ -324,12 +416,12 @@ func (c *Client) sendChunks(loc string, src BlobSource, d digest.Digest, offset 
 }
 
 // finalizeUpload PUTs the digest to close the session.
-func (c *Client) finalizeUpload(loc string, d digest.Digest) error {
+func (c *Client) finalizeUpload(ctx context.Context, loc string, d digest.Digest) error {
 	sep := "?"
 	if strings.Contains(loc, "?") {
 		sep = "&"
 	}
-	req, err := http.NewRequest(http.MethodPut, loc+sep+"digest="+string(d), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, loc+sep+"digest="+string(d), nil)
 	if err != nil {
 		return err
 	}
@@ -348,31 +440,36 @@ func (c *Client) finalizeUpload(loc string, d digest.Digest) error {
 // chunked upload protocol. Blobs the registry already holds are
 // skipped. A transfer interrupted mid-PATCH resumes from the offset
 // the server reports rather than restarting.
-func (c *Client) PushBlob(name string, src BlobSource, d digest.Digest) error {
-	if ok, err := c.HasBlob(name, d); err == nil && ok {
+func (c *Client) PushBlob(ctx context.Context, name string, src BlobSource, d digest.Digest) error {
+	if ok, err := c.HasBlob(ctx, name, d); err == nil && ok {
 		return nil
 	}
-	return c.withRetry(func() error {
-		loc, err := c.startUpload(name)
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		loc, err := c.startUpload(ctx, name)
 		if err != nil {
 			return err
 		}
 		backoff := c.backoff()
 		var offset int64
 		for attempt := 0; ; attempt++ {
-			err := c.sendChunks(loc, src, d, offset)
+			err := c.sendChunks(ctx, loc, src, d, offset)
 			if err == nil {
-				return c.finalizeUpload(loc, d)
+				return c.finalizeUpload(ctx, loc, d)
 			}
 			if !transient(err) || attempt >= c.retries() {
 				return err
 			}
-			time.Sleep(backoff)
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", cerr, err)
+			}
+			if serr := sleepCtx(ctx, backoff); serr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", serr, err)
+			}
 			backoff *= 2
 			// Resume from the server's committed offset; if the
 			// session itself is gone, surface the original error so
 			// the outer retry opens a fresh one.
-			off, oerr := c.uploadOffset(loc)
+			off, oerr := c.uploadOffset(ctx, loc)
 			if oerr != nil {
 				return err
 			}
@@ -385,7 +482,7 @@ func (c *Client) PushBlob(name string, src BlobSource, d digest.Digest) error {
 // src as name:tag: every referenced blob first — in parallel — then
 // the manifest, so the registry never sees a manifest with dangling
 // references.
-func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string) error {
+func (c *Client) PushImage(ctx context.Context, src BlobSource, desc oci.Descriptor, name, tag string) error {
 	raw, err := ReadBlob(src, desc.Digest)
 	if err != nil {
 		return fmt.Errorf("distrib: loading manifest %s: %w", desc.Digest.Short(), err)
@@ -397,7 +494,7 @@ func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string
 	if len(refs.Manifests) > 0 {
 		// Manifest list: push each platform image by digest first.
 		for _, child := range refs.Manifests {
-			if err := c.PushImage(src, child, name, string(child.Digest)); err != nil {
+			if err := c.PushImage(ctx, src, child, name, string(child.Digest)); err != nil {
 				return err
 			}
 		}
@@ -417,7 +514,7 @@ func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string
 		tasks := make([]func() error, len(blobs))
 		for i, bd := range blobs {
 			bd := bd
-			tasks[i] = func() error { return c.PushBlob(name, src, bd.Digest) }
+			tasks[i] = func() error { return c.PushBlob(ctx, name, src, bd.Digest) }
 		}
 		if err := c.runPool(tasks); err != nil {
 			return err
@@ -430,8 +527,8 @@ func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string
 			mediaType = oci.MediaTypeIndex
 		}
 	}
-	return c.withRetry(func() error {
-		req, err := http.NewRequest(http.MethodPut, c.url(name, "manifests", tag), bytes.NewReader(raw))
+	return c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.url(name, "manifests", tag), bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
@@ -454,11 +551,11 @@ func (c *Client) PushImage(src BlobSource, desc oci.Descriptor, name, tag string
 // returns its bytes, digest and media type. The digest is verified
 // against the Docker-Content-Digest header and, for digest refs, the
 // ref itself.
-func (c *Client) FetchManifest(name, ref string) ([]byte, digest.Digest, string, error) {
+func (c *Client) FetchManifest(ctx context.Context, name, ref string) ([]byte, digest.Digest, string, error) {
 	var body []byte
 	var mediaType string
-	err := c.withRetry(func() error {
-		req, err := http.NewRequest(http.MethodGet, c.url(name, "manifests", ref), nil)
+	err := c.withRetry(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(name, "manifests", ref), nil)
 		if err != nil {
 			return err
 		}
@@ -500,30 +597,58 @@ func (c *Client) FetchManifest(name, ref string) ([]byte, digest.Digest, string,
 // FetchBlob downloads blob d from repository name into dst, verifying
 // the digest as it streams. Concurrent fetches of the same digest
 // collapse into one transfer.
-func (c *Client) FetchBlob(dst Store, name string, d digest.Digest) error {
-	return c.fetchBlob(dst, name, d)
+func (c *Client) FetchBlob(ctx context.Context, dst Store, name string, d digest.Digest) error {
+	return c.fetchBlob(ctx, dst, name, d)
 }
 
-// fetchBlob downloads blob rd from repository name into dst,
-// verifying the digest as it streams. Concurrent fetches of the same
-// digest collapse into one transfer.
-func (c *Client) fetchBlob(dst Store, name string, d digest.Digest) error {
-	return c.flights.do(d, func() error {
+// fetchBlob downloads blob d from repository name into dst. The bytes
+// received so far survive across retries: a transfer cut mid-stream
+// resumes with a Range request from the committed offset, and only a
+// digest mismatch (the accumulated bytes are wrong, not merely
+// incomplete) restarts from scratch. Concurrent fetches of the same
+// digest collapse into one transfer; waiters honor their context.
+func (c *Client) fetchBlob(ctx context.Context, dst Store, name string, d digest.Digest) error {
+	return c.flights.do(ctx, d, func() error {
 		if dst.Has(d) {
 			return nil
 		}
-		return c.withRetry(func() error {
-			resp, err := c.httpClient().Get(c.url(name, "blobs", string(d)))
+		var buf bytes.Buffer // bytes verified-received across attempts
+		return c.withRetry(ctx, func(ctx context.Context) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(name, "blobs", string(d)), nil)
+			if err != nil {
+				return err
+			}
+			resume := buf.Len() > 0
+			if resume {
+				req.Header.Set("Range", fmt.Sprintf("bytes=%d-", buf.Len()))
+			}
+			resp, err := c.httpClient().Do(req)
 			if err != nil {
 				return fmt.Errorf("distrib: fetching blob %s: %w", d.Short(), err)
 			}
-			if resp.StatusCode != http.StatusOK {
+			switch {
+			case resume && resp.StatusCode == http.StatusPartialContent:
+				// Continuing from the committed offset.
+			case resp.StatusCode == http.StatusOK:
+				// Full body (fresh fetch, or a server that ignored the
+				// Range): start over.
+				buf.Reset()
+			default:
+				// Includes 416 from a stale resume offset: statusError
+				// classifies it transient and the cleared buffer makes
+				// the next attempt fetch from scratch.
+				buf.Reset()
 				return statusError(resp)
 			}
-			defer resp.Body.Close()
-			// Ingest verifies the digest; a short read or corrupt body
-			// fails verification and is retried.
-			if _, _, err := dst.Ingest(io.LimitReader(resp.Body, 1<<30), d); err != nil {
+			_, cerr := io.Copy(&buf, io.LimitReader(resp.Body, 1<<30))
+			resp.Body.Close()
+			if cerr != nil {
+				return fmt.Errorf("distrib: reading blob %s: %w", d.Short(), cerr)
+			}
+			// Ingest verifies the digest; a corrupt accumulation fails
+			// verification, restarts clean, and is retried.
+			if _, _, err := dst.Ingest(bytes.NewReader(buf.Bytes()), d); err != nil {
+				buf.Reset()
 				return fmt.Errorf("distrib: ingesting blob %s: %w", d.Short(), err)
 			}
 			return nil
@@ -534,8 +659,8 @@ func (c *Client) fetchBlob(dst Store, name string, d digest.Digest) error {
 // PullImage downloads name:ref (tag or digest; image or manifest
 // list) into dst, fetching missing blobs in parallel and skipping
 // blobs dst already holds. Returns the manifest descriptor.
-func (c *Client) PullImage(dst Store, name, ref string) (oci.Descriptor, error) {
-	body, d, mediaType, err := c.FetchManifest(name, ref)
+func (c *Client) PullImage(ctx context.Context, dst Store, name, ref string) (oci.Descriptor, error) {
+	body, d, mediaType, err := c.FetchManifest(ctx, name, ref)
 	if err != nil {
 		return oci.Descriptor{}, err
 	}
@@ -545,7 +670,7 @@ func (c *Client) PullImage(dst Store, name, ref string) (oci.Descriptor, error) 
 	}
 	if len(refs.Manifests) > 0 {
 		for _, child := range refs.Manifests {
-			if _, err := c.PullImage(dst, name, string(child.Digest)); err != nil {
+			if _, err := c.PullImage(ctx, dst, name, string(child.Digest)); err != nil {
 				return oci.Descriptor{}, err
 			}
 		}
@@ -561,7 +686,7 @@ func (c *Client) PullImage(dst Store, name, ref string) (oci.Descriptor, error) 
 				continue // cross-image layer dedup: already local
 			}
 			bd := bd
-			tasks = append(tasks, func() error { return c.fetchBlob(dst, name, bd.Digest) })
+			tasks = append(tasks, func() error { return c.fetchBlob(ctx, dst, name, bd.Digest) })
 		}
 		if err := c.runPool(tasks); err != nil {
 			return oci.Descriptor{}, err

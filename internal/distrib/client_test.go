@@ -1,6 +1,7 @@
 package distrib_test
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -69,11 +70,11 @@ func TestClientPushPullRoundTrip(t *testing.T) {
 	src := oci.NewStore()
 	desc := buildTestImage(t, src, "alpha", "beta", "gamma")
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, desc, "team/app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "team/app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	dst := oci.NewStore()
-	got, err := c.PullImage(dst, "team/app", "v1")
+	got, err := c.PullImage(context.Background(), dst, "team/app", "v1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestPushDedupSkipsExistingBlobs(t *testing.T) {
 	src := oci.NewStore()
 	desc := buildTestImage(t, src, "one", "two")
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, desc, "team/app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "team/app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	first := counter.uploads.Load()
@@ -108,7 +109,7 @@ func TestPushDedupSkipsExistingBlobs(t *testing.T) {
 	}
 	// Same blobs, different repository: the content-addressed store is
 	// shared, so nothing re-uploads.
-	if err := c.PushImage(src, desc, "other/copy", "v2"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "other/copy", "v2"); err != nil {
 		t.Fatal(err)
 	}
 	if counter.uploads.Load() != first {
@@ -131,19 +132,19 @@ func TestPullTransfersOnlyMissingBlobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, base, "app", "base"); err != nil {
+	if err := c.PushImage(context.Background(), src, base, "app", "base"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.PushImage(src, extended, "app", "extended"); err != nil {
+	if err := c.PushImage(context.Background(), src, extended, "app", "extended"); err != nil {
 		t.Fatal(err)
 	}
 
 	dst := oci.NewStore()
-	if _, err := c.PullImage(dst, "app", "base"); err != nil {
+	if _, err := c.PullImage(context.Background(), dst, "app", "base"); err != nil {
 		t.Fatal(err)
 	}
 	before := counter.blobGets.Load()
-	if _, err := c.PullImage(dst, "app", "extended"); err != nil {
+	if _, err := c.PullImage(context.Background(), dst, "app", "extended"); err != nil {
 		t.Fatal(err)
 	}
 	fetched := counter.blobGets.Load() - before
@@ -169,7 +170,7 @@ func TestConcurrentPullSingleflight(t *testing.T) {
 	src := oci.NewStore()
 	desc := buildTestImage(t, src, "l1", "l2", "l3", "l4")
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	counter.blobGets.Store(0)
@@ -181,7 +182,7 @@ func TestConcurrentPullSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.PullImage(dst, "app", "v1"); err != nil {
+			if _, err := c.PullImage(context.Background(), dst, "app", "v1"); err != nil {
 				errs <- err
 			}
 		}()
@@ -245,11 +246,11 @@ func TestPullRetriesTransientFailures(t *testing.T) {
 	desc := buildTestImage(t, src, "r1", "r2", "r3")
 	c := fastClient(ts.URL)
 	c.Retries = 6
-	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	dst := oci.NewStore()
-	if _, err := c.PullImage(dst, "app", "v1"); err != nil {
+	if _, err := c.PullImage(context.Background(), dst, "app", "v1"); err != nil {
 		t.Fatalf("pull did not survive injected 503s and short reads: %v", err)
 	}
 	for _, d := range src.Digests() {
@@ -265,7 +266,7 @@ func TestPullPermanentFailureFast(t *testing.T) {
 	defer ts.Close()
 	c := fastClient(ts.URL)
 	start := time.Now()
-	if _, err := c.PullImage(oci.NewStore(), "ghost", "v1"); err == nil {
+	if _, err := c.PullImage(context.Background(), oci.NewStore(), "ghost", "v1"); err == nil {
 		t.Fatal("pulled a nonexistent image")
 	}
 	// 404 is permanent: no retry/backoff spiral.
@@ -291,11 +292,11 @@ func TestPushManifestList(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, list, "multi/app", "latest"); err != nil {
+	if err := c.PushImage(context.Background(), src, list, "multi/app", "latest"); err != nil {
 		t.Fatal(err)
 	}
 	dst := oci.NewStore()
-	got, err := c.PullImage(dst, "multi/app", "latest")
+	got, err := c.PullImage(context.Background(), dst, "multi/app", "latest")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestPushRefusesDanglingManifest(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, desc, "app", "v1"); err == nil {
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err == nil {
 		t.Fatal("pushed an image with a missing layer")
 	}
 	if len(srv.Tags()) != 0 {
@@ -348,11 +349,11 @@ func TestChunkedPushLargeBlob(t *testing.T) {
 	desc := buildTestImage(t, src, payload)
 	c := fastClient(ts.URL)
 	c.ChunkSize = 8 << 10 // 8 KiB chunks → many PATCHes
-	if err := c.PushImage(src, desc, "big/app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "big/app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	dst := oci.NewStore()
-	if _, err := c.PullImage(dst, "big/app", "v1"); err != nil {
+	if _, err := c.PullImage(context.Background(), dst, "big/app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	for _, d := range src.Digests() {
@@ -371,13 +372,13 @@ func TestPushBlobStandalone(t *testing.T) {
 	src := oci.NewStore()
 	d := src.Put([]byte("standalone blob"))
 	c := fastClient(ts.URL)
-	if ok, err := c.HasBlob("solo", d); err != nil || ok {
+	if ok, err := c.HasBlob(context.Background(), "solo", d); err != nil || ok {
 		t.Fatalf("HasBlob before push = %v, %v", ok, err)
 	}
-	if err := c.PushBlob("solo", src, d); err != nil {
+	if err := c.PushBlob(context.Background(), "solo", src, d); err != nil {
 		t.Fatal(err)
 	}
-	if ok, err := c.HasBlob("solo", d); err != nil || !ok {
+	if ok, err := c.HasBlob(context.Background(), "solo", d); err != nil || !ok {
 		t.Fatalf("HasBlob after push = %v, %v", ok, err)
 	}
 }
@@ -401,15 +402,15 @@ func TestPullVerifiesManifestDigest(t *testing.T) {
 	src := oci.NewStore()
 	desc := buildTestImage(t, src, "x")
 	c := fastClient(ts.URL)
-	if err := c.PushImage(src, desc, "app", "v1"); err != nil {
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PullImage(oci.NewStore(), "app", string(desc.Digest)); err == nil {
+	if _, err := c.PullImage(context.Background(), oci.NewStore(), "app", string(desc.Digest)); err == nil {
 		t.Fatal("pull accepted a manifest that does not hash to the requested digest")
 	}
 	// An absent digest must also fail (404, no retry storm).
 	bogus := digest.FromString("not the manifest")
-	if _, err := c.PullImage(oci.NewStore(), "app", string(bogus)); err == nil {
+	if _, err := c.PullImage(context.Background(), oci.NewStore(), "app", string(bogus)); err == nil {
 		t.Fatal("pull by unknown digest succeeded")
 	}
 }

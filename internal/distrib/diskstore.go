@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"comtainer/internal/digest"
+	"comtainer/internal/faultinject"
 )
 
 // DiskStore is a persistent content-addressed blob store. Blobs live in
@@ -19,39 +20,61 @@ import (
 // a temp file and are renamed into place only after the digest checks
 // out, so a crash mid-write never leaves a corrupt blob addressable.
 // Reads verify content against the digest as it streams out.
+//
+// All mutating filesystem calls go through a faultinject.FS seam
+// (the real OS by default), so chaos tests can kill the store at an
+// arbitrary seeded write point and verify recovery.
 type DiskStore struct {
 	root string
+	fs   faultinject.FS
 
 	// mu serializes commit-time renames with Delete so a concurrent
 	// delete cannot observe a half-committed blob.
 	mu sync.Mutex
+
+	// openRepair is what the open-time Repair found and acted on —
+	// kept so operator tooling can report damage that was already
+	// healed before it got a chance to scan.
+	openRepair FsckReport
 }
 
-// NewDiskStore opens (creating if needed) a disk store rooted at dir,
-// and clears any temp files a previous crash left behind.
+// NewDiskStore opens (creating if needed) a disk store rooted at dir
+// and repairs any damage a previous crash left behind: torn temp files
+// are swept and corrupt or misnamed blobs are quarantined (see Repair).
 func NewDiskStore(dir string) (*DiskStore, error) {
-	s := &DiskStore{root: dir}
+	return NewDiskStoreFS(dir, faultinject.OS())
+}
+
+// NewDiskStoreFS is NewDiskStore writing through fsys — the hook chaos
+// tests use to inject EIO, short writes and power cuts.
+func NewDiskStoreFS(dir string, fsys faultinject.FS) (*DiskStore, error) {
+	s := &DiskStore{root: dir, fs: fsys}
 	for _, d := range []string{s.blobRoot(), s.tmpDir()} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("distrib: creating store dir: %w", err)
 		}
 	}
-	// Temp files from interrupted writes are garbage by construction.
-	entries, err := os.ReadDir(s.tmpDir())
+	// Crash recovery runs on every open: a store is never handed out
+	// with torn temp files or unreadable addressable blobs.
+	rep, err := s.Repair()
 	if err != nil {
-		return nil, fmt.Errorf("distrib: reading tmp dir: %w", err)
+		return nil, err
 	}
-	for _, e := range entries {
-		_ = os.Remove(filepath.Join(s.tmpDir(), e.Name()))
-	}
+	s.openRepair = rep
 	return s, nil
 }
+
+// OpenReport returns what the open-time Repair found and fixed. A
+// later Fsck scans the already-healed store and reports it clean, so
+// this is the only record of damage repaired at mount.
+func (s *DiskStore) OpenReport() FsckReport { return s.openRepair }
 
 // Root returns the directory the store persists under.
 func (s *DiskStore) Root() string { return s.root }
 
-func (s *DiskStore) blobRoot() string { return filepath.Join(s.root, "blobs", "sha256") }
-func (s *DiskStore) tmpDir() string   { return filepath.Join(s.root, "tmp") }
+func (s *DiskStore) blobRoot() string      { return filepath.Join(s.root, "blobs", "sha256") }
+func (s *DiskStore) tmpDir() string        { return filepath.Join(s.root, "tmp") }
+func (s *DiskStore) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
 
 // blobPath returns the sharded path of blob d.
 func (s *DiskStore) blobPath(d digest.Digest) string {
@@ -64,7 +87,7 @@ func (s *DiskStore) Has(d digest.Digest) bool {
 	if d.Validate() != nil {
 		return false
 	}
-	fi, err := os.Stat(s.blobPath(d))
+	fi, err := s.fs.Stat(s.blobPath(d))
 	return err == nil && fi.Mode().IsRegular()
 }
 
@@ -75,14 +98,14 @@ func (s *DiskStore) Open(d digest.Digest) (io.ReadCloser, int64, error) {
 	if err := d.Validate(); err != nil {
 		return nil, 0, err
 	}
-	f, err := os.Open(s.blobPath(d))
+	f, err := s.fs.Open(s.blobPath(d))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, 0, fmt.Errorf("distrib: blob not found: %s", d)
 		}
 		return nil, 0, fmt.Errorf("distrib: opening blob %s: %w", d.Short(), err)
 	}
-	fi, err := f.Stat()
+	fi, err := s.fs.Stat(s.blobPath(d))
 	if err != nil {
 		f.Close()
 		return nil, 0, fmt.Errorf("distrib: stat blob %s: %w", d.Short(), err)
@@ -93,7 +116,7 @@ func (s *DiskStore) Open(d digest.Digest) (io.ReadCloser, int64, error) {
 // verifyingReader hashes content as it streams and turns EOF into an
 // error when the final hash does not match the expected digest.
 type verifyingReader struct {
-	f    *os.File
+	f    faultinject.File
 	want digest.Digest
 	h    hash.Hash
 	done bool
@@ -129,12 +152,12 @@ func (s *DiskStore) Ingest(r io.Reader, want digest.Digest) (digest.Digest, int6
 			return "", 0, err
 		}
 	}
-	tmp, err := os.CreateTemp(s.tmpDir(), "ingest-*")
+	tmp, err := s.fs.CreateTemp(s.tmpDir(), "ingest-*")
 	if err != nil {
 		return "", 0, fmt.Errorf("distrib: creating temp blob: %w", err)
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after successful rename
+	defer s.fs.Remove(tmpName) // no-op after successful rename
 	h := sha256.New()
 	n, err := io.Copy(io.MultiWriter(tmp, h), r)
 	if cerr := tmp.Close(); err == nil {
@@ -148,15 +171,15 @@ func (s *DiskStore) Ingest(r io.Reader, want digest.Digest) (digest.Digest, int6
 		return "", 0, fmt.Errorf("distrib: digest mismatch: content is %s, want %s", got, want)
 	}
 	dst := s.blobPath(got)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return "", 0, fmt.Errorf("distrib: creating shard dir: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := os.Stat(dst); err == nil {
+	if _, err := s.fs.Stat(dst); err == nil {
 		return got, n, nil // content-addressed: already present, identical
 	}
-	if err := os.Rename(tmpName, dst); err != nil {
+	if err := s.fs.Rename(tmpName, dst); err != nil {
 		return "", 0, fmt.Errorf("distrib: committing blob %s: %w", got.Short(), err)
 	}
 	return got, n, nil
@@ -171,7 +194,7 @@ func (s *DiskStore) Delete(d digest.Digest) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(s.blobPath(d)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.blobPath(d)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("distrib: deleting blob %s: %w", d.Short(), err)
 	}
 	return nil
@@ -210,7 +233,7 @@ func (s *DiskStore) Len() int { return len(s.Digests()) }
 func (s *DiskStore) TotalSize() int64 {
 	var n int64
 	for _, d := range s.Digests() {
-		if fi, err := os.Stat(s.blobPath(d)); err == nil {
+		if fi, err := s.fs.Stat(s.blobPath(d)); err == nil {
 			n += fi.Size()
 		}
 	}

@@ -21,6 +21,8 @@ type TagStore interface {
 	Resolve(name, tag string) (oci.Descriptor, bool)
 	// Set records desc under name:tag, replacing any previous mapping.
 	Set(name, tag string, desc oci.Descriptor) error
+	// Delete removes the name:tag mapping. Absent refs are not an error.
+	Delete(name, tag string) error
 	// Tags returns the sorted tags of repository name.
 	Tags(name string) []string
 	// All returns every known "name:tag" key with its descriptor.
@@ -51,6 +53,14 @@ func (t *MemTags) Set(name, tag string, desc oci.Descriptor) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.m[name+":"+tag] = desc
+	return nil
+}
+
+// Delete removes the name:tag mapping.
+func (t *MemTags) Delete(name, tag string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, name+":"+tag)
 	return nil
 }
 
@@ -162,6 +172,25 @@ func (t *DiskTags) Set(name, tag string, desc oci.Descriptor) error {
 	if err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("distrib: committing ref %s: %w", key, err)
+	}
+	return nil
+}
+
+// Delete removes the name:tag mapping and its on-disk ref file. The
+// remove runs under the lock for the same reason Set's rename does:
+// the file and the map must agree about whether the ref exists.
+func (t *DiskTags) Delete(name, tag string) error {
+	key := name + ":" + tag
+	t.mu.Lock()
+	//comtainer:allow lockio -- remove must commit atomically with the map update
+	err := os.Remove(t.refFile(key))
+	if err == nil || os.IsNotExist(err) {
+		delete(t.m, key)
+		err = nil
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("distrib: deleting ref %s: %w", key, err)
 	}
 	return nil
 }

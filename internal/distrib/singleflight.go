@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"sync"
 
 	"comtainer/internal/digest"
@@ -22,16 +23,22 @@ type flightCall struct {
 }
 
 // do runs fn for key, unless a call for key is already in flight, in
-// which case it waits for that call and returns its error.
-func (g *flightGroup) do(key digest.Digest, fn func() error) error {
+// which case it waits for that call and returns its error. A waiter
+// whose ctx is cancelled stops waiting immediately (the in-flight
+// call itself keeps running for the caller that owns it).
+func (g *flightGroup) do(ctx context.Context, key digest.Digest, fn func() error) error {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[digest.Digest]*flightCall)
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.err
+		select {
+		case <-c.done:
+			return c.err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c

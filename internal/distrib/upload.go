@@ -9,7 +9,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"comtainer/internal/digest"
 )
@@ -27,10 +29,29 @@ var ErrUploadClosed = errors.New("distrib: upload closed")
 // UploadManager tracks in-progress blob upload sessions for a registry
 // server. Sessions spool to files under a directory when one is given
 // (persistent stores) or to memory buffers otherwise.
+//
+// With a positive TTL, sessions idle longer than it are swept — spool
+// file and all — the next time a session starts (lazy, so no
+// background goroutine), or whenever SweepExpired is called. A client
+// that abandons an upload mid-push therefore cannot leak spool space
+// forever.
 type UploadManager struct {
 	spoolDir string
+
+	// TTL is how long an idle session survives; zero disables expiry.
+	TTL time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+
 	mu       sync.Mutex
 	sessions map[string]*Upload
+}
+
+func (m *UploadManager) clock() time.Time {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return time.Now()
 }
 
 // NewUploadManager returns a manager spooling sessions under spoolDir,
@@ -46,20 +67,35 @@ type Upload struct {
 	// Name is the repository the upload was opened against.
 	Name string
 
-	mu     sync.Mutex
-	size   int64
-	file   *os.File // spool file, nil when buffering in memory
-	buf    bytes.Buffer
-	closed bool
+	mu      sync.Mutex
+	size    int64
+	file    *os.File // spool file, nil when buffering in memory
+	buf     bytes.Buffer
+	closed  bool
+	touched time.Time
 }
 
-// Start opens a new upload session for repository name.
+func (u *Upload) touch(t time.Time) {
+	u.mu.Lock()
+	u.touched = t
+	u.mu.Unlock()
+}
+
+func (u *Upload) touchedAt() time.Time {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.touched
+}
+
+// Start opens a new upload session for repository name, first sweeping
+// any sessions whose TTL has lapsed.
 func (m *UploadManager) Start(name string) (*Upload, error) {
+	m.SweepExpired()
 	idBytes := make([]byte, 16)
 	if _, err := rand.Read(idBytes); err != nil {
 		return nil, fmt.Errorf("distrib: generating upload id: %w", err)
 	}
-	u := &Upload{ID: hex.EncodeToString(idBytes), Name: name}
+	u := &Upload{ID: hex.EncodeToString(idBytes), Name: name, touched: m.clock()}
 	if m.spoolDir != "" {
 		if err := os.MkdirAll(m.spoolDir, 0o755); err != nil {
 			return nil, fmt.Errorf("distrib: creating spool dir: %w", err)
@@ -76,12 +112,49 @@ func (m *UploadManager) Start(name string) (*Upload, error) {
 	return u, nil
 }
 
-// Get returns the session with the given id.
+// Get returns the session with the given id, refreshing its idle
+// timer: every protocol request resolves the session through here, so
+// an upload making any progress at all never expires.
 func (m *UploadManager) Get(id string) (*Upload, bool) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	u, ok := m.sessions[id]
+	m.mu.Unlock()
+	if ok {
+		u.touch(m.clock())
+	}
 	return u, ok
+}
+
+// SweepExpired cancels every session idle longer than TTL, removing
+// its spool file, and returns the swept session IDs sorted. A zero TTL
+// makes it a no-op.
+func (m *UploadManager) SweepExpired() []string {
+	if m.TTL <= 0 {
+		return nil
+	}
+	cutoff := m.clock().Add(-m.TTL)
+	m.mu.Lock()
+	var stale []*Upload
+	for _, u := range m.sessions {
+		if u.touchedAt().Before(cutoff) {
+			stale = append(stale, u)
+		}
+	}
+	m.mu.Unlock()
+	ids := make([]string, 0, len(stale))
+	for _, u := range stale {
+		m.Cancel(u)
+		ids = append(ids, u.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of live sessions.
+func (m *UploadManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
 }
 
 // drop forgets the session and removes its spool file.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"comtainer/internal/digest"
+	"comtainer/internal/faultinject"
 )
 
 // layoutMarker is the content of the oci-layout marker file.
@@ -71,10 +72,10 @@ func (r *Repository) PushImage(src *Store, desc Descriptor, tag string) error {
 }
 
 // writeFileAtomic commits data to path via a temp file in the same
-// directory plus os.Rename, so a crash mid-write never leaves a torn
+// directory plus rename, so a crash mid-write never leaves a torn
 // file at an addressable layout path.
-func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+func writeFileAtomic(fsys faultinject.FS, path string, data []byte, mode os.FileMode) error {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), ".tmp-*")
 	if err != nil {
 		return err
 	}
@@ -84,13 +85,13 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Chmod(tmpName, mode)
+		werr = fsys.Chmod(tmpName, mode)
 	}
 	if werr == nil {
-		werr = os.Rename(tmpName, path)
+		werr = fsys.Rename(tmpName, path)
 	}
 	if werr != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return werr
 	}
 	return nil
@@ -102,11 +103,20 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 // content-addressed and must never exist torn, index.json because it
 // is the root a reader trusts.
 func (r *Repository) SaveLayout(dir string) error {
+	return r.SaveLayoutFS(dir, faultinject.OS())
+}
+
+// SaveLayoutFS is SaveLayout writing through fsys — the hook chaos
+// tests use to crash a save at an arbitrary write and verify the
+// layout on disk is either absent or loadable, never torn. index.json
+// is written last, so a reader only sees the index once every blob it
+// references has committed.
+func (r *Repository) SaveLayoutFS(dir string, fsys faultinject.FS) error {
 	blobDir := filepath.Join(dir, "blobs", "sha256")
-	if err := os.MkdirAll(blobDir, 0o755); err != nil {
+	if err := fsys.MkdirAll(blobDir, 0o755); err != nil {
 		return fmt.Errorf("oci: creating layout dir: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, "oci-layout"), []byte(layoutMarker), 0o644); err != nil {
+	if err := writeFileAtomic(fsys, filepath.Join(dir, "oci-layout"), []byte(layoutMarker), 0o644); err != nil {
 		return fmt.Errorf("oci: writing layout marker: %w", err)
 	}
 	for _, d := range r.Store.Digests() {
@@ -114,7 +124,7 @@ func (r *Repository) SaveLayout(dir string) error {
 		if err != nil {
 			return err
 		}
-		if err := writeFileAtomic(filepath.Join(blobDir, d.Hex()), b, 0o644); err != nil {
+		if err := writeFileAtomic(fsys, filepath.Join(blobDir, d.Hex()), b, 0o644); err != nil {
 			return fmt.Errorf("oci: writing blob %s: %w", d.Short(), err)
 		}
 	}
@@ -122,7 +132,7 @@ func (r *Repository) SaveLayout(dir string) error {
 	if err != nil {
 		return fmt.Errorf("oci: encoding index: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
+	if err := writeFileAtomic(fsys, filepath.Join(dir, "index.json"), idx, 0o644); err != nil {
 		return fmt.Errorf("oci: writing index.json: %w", err)
 	}
 	return nil

@@ -9,6 +9,7 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"comtainer/internal/digest"
 	"comtainer/internal/distrib"
@@ -56,6 +58,12 @@ func NewServerAt(dir string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Referential crash recovery: a tag whose manifest never committed
+	// (crash between ref write and blob rename) must not survive a
+	// restart, or every pull of it would 500.
+	if _, err := distrib.SweepDanglingRefs(refs, blobs); err != nil {
+		return nil, err
+	}
 	return &Server{
 		blobs:   blobs,
 		refs:    refs,
@@ -70,6 +78,46 @@ func NewServerWith(blobs distrib.Store, refs distrib.TagStore) *Server {
 
 // Blobs exposes the mounted blob store (for inspection and GC).
 func (s *Server) Blobs() distrib.Store { return s.blobs }
+
+// SetUploadTTL bounds how long an idle upload session (and its spool
+// file) survives; zero disables expiry. See distrib.UploadManager.
+func (s *Server) SetUploadTTL(d time.Duration) { s.uploads.TTL = d }
+
+// Fsck checks the mounted blob store's integrity (it must be
+// disk-backed). With repair false the scan is read-only; with repair
+// true corrupt blobs are quarantined, orphaned temp spools removed,
+// and tags pointing at missing manifests swept (returned as the
+// second value). Exposed on the CLI as comtainer-registry -fsck.
+func (s *Server) Fsck(repair bool) (distrib.FsckReport, []string, error) {
+	ds, ok := s.blobs.(*distrib.DiskStore)
+	if !ok {
+		return distrib.FsckReport{}, nil, fmt.Errorf("registry: fsck requires a disk-backed blob store")
+	}
+	var rep distrib.FsckReport
+	var err error
+	if repair {
+		rep, err = ds.Repair()
+		// The open-time Repair may already have healed crash damage;
+		// fold its actions in so the operator sees what was fixed
+		// rather than a clean scan of the post-repair store.
+		open := ds.OpenReport()
+		rep.Corrupt = append(open.Corrupt, rep.Corrupt...)
+		rep.Misplaced = append(open.Misplaced, rep.Misplaced...)
+		rep.OrphanTemps = append(open.OrphanTemps, rep.OrphanTemps...)
+		rep.Quarantined += open.Quarantined
+		rep.TempsSwept += open.TempsSwept
+	} else {
+		rep, err = ds.Fsck()
+	}
+	if err != nil {
+		return rep, nil, err
+	}
+	var removed []string
+	if repair {
+		removed, err = distrib.SweepDanglingRefs(s.refs, s.blobs)
+	}
+	return rep, removed, err
+}
 
 // GC deletes every blob unreachable from the currently tagged
 // manifests and manifest lists, returning the number dropped.
@@ -185,6 +233,21 @@ func (s *Server) routeUpload(w http.ResponseWriter, r *http.Request, name, id st
 	}
 }
 
+// contextReader fails reads once ctx is done, so a handler streaming a
+// request body into the store stops promptly when the client has gone
+// away instead of spooling bytes nobody will finalize.
+type contextReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c contextReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
 // uploadRange renders the session Range header ("0-0" when empty, per
 // the docker convention).
 func uploadRange(size int64) string {
@@ -222,7 +285,7 @@ func (s *Server) patchUpload(w http.ResponseWriter, r *http.Request, u *distrib.
 		}
 		expectStart = n
 	}
-	size, err := u.Append(r.Body, expectStart)
+	size, err := u.Append(contextReader{r.Context(), r.Body}, expectStart)
 	if err != nil {
 		// A mis-aligned chunk gets 416 plus the committed range so the
 		// client can resume from the recorded offset.
@@ -239,7 +302,7 @@ func (s *Server) patchUpload(w http.ResponseWriter, r *http.Request, u *distrib.
 func (s *Server) putUpload(w http.ResponseWriter, r *http.Request, name string, u *distrib.Upload) {
 	// An optional trailing chunk may ride on the finalizing PUT.
 	if r.ContentLength != 0 {
-		if _, err := u.Append(r.Body, -1); err != nil {
+		if _, err := u.Append(contextReader{r.Context(), r.Body}, -1); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -267,7 +330,7 @@ func (s *Server) putBlobMonolithic(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid digest", http.StatusBadRequest)
 		return
 	}
-	d, _, err := s.blobs.Ingest(io.LimitReader(r.Body, 1<<30), want)
+	d, _, err := s.blobs.Ingest(io.LimitReader(contextReader{r.Context(), r.Body}, 1<<30), want)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -405,7 +468,7 @@ func (s *Server) getManifest(w http.ResponseWriter, name, ref string, headOnly b
 // list, member manifests — are not yet present, so clients must upload
 // blobs first.
 func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxManifestSize))
+	body, err := io.ReadAll(io.LimitReader(contextReader{r.Context(), r.Body}, maxManifestSize))
 	if err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
@@ -503,19 +566,21 @@ func NewClient(base string) *Client {
 
 // Push uploads the image tagged localTag in repo to the registry as
 // name:tag — all referenced blobs first (in parallel, skipping blobs
-// the registry already holds), then the manifest.
-func (c *Client) Push(repo *oci.Repository, localTag, name, tag string) error {
+// the registry already holds), then the manifest. Cancelling ctx
+// aborts in-flight transfers and any retry backoff.
+func (c *Client) Push(ctx context.Context, repo *oci.Repository, localTag, name, tag string) error {
 	desc, err := repo.Resolve(localTag)
 	if err != nil {
 		return err
 	}
-	return c.PushImage(repo.Store, desc, name, tag)
+	return c.PushImage(ctx, repo.Store, desc, name, tag)
 }
 
 // Pull downloads name:tag from the registry into repo under localTag,
-// fetching missing layers in parallel.
-func (c *Client) Pull(repo *oci.Repository, name, tag, localTag string) error {
-	desc, err := c.PullImage(repo.Store, name, tag)
+// fetching missing layers in parallel. Cancelling ctx aborts in-flight
+// transfers and any retry backoff.
+func (c *Client) Pull(ctx context.Context, repo *oci.Repository, name, tag, localTag string) error {
+	desc, err := c.PullImage(ctx, repo.Store, name, tag)
 	if err != nil {
 		return err
 	}

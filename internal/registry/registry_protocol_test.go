@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,7 +24,7 @@ func TestHeadManifestHeadersNoBody(t *testing.T) {
 	defer ts.Close()
 	src, tag := testImageRepo(t)
 	client := NewClient(ts.URL)
-	if err := client.Push(src, tag, "demo", "v1"); err != nil {
+	if err := client.Push(context.Background(), src, tag, "demo", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	desc, _ := src.Resolve(tag)
@@ -314,7 +315,7 @@ func TestRestartPersistence(t *testing.T) {
 	}
 	ts1 := httptest.NewServer(srv1.Handler())
 	src, tag := testImageRepo(t)
-	if err := NewClient(ts1.URL).Push(src, tag, "user/demo", "v1"); err != nil {
+	if err := NewClient(ts1.URL).Push(context.Background(), src, tag, "user/demo", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	ts1.Close() // registry process dies
@@ -329,7 +330,7 @@ func TestRestartPersistence(t *testing.T) {
 		t.Fatalf("tags after restart = %v", got)
 	}
 	dst := oci.NewRepository()
-	if err := NewClient(ts2.URL).Pull(dst, "user/demo", "v1", "demo.pulled"); err != nil {
+	if err := NewClient(ts2.URL).Pull(context.Background(), dst, "user/demo", "v1", "demo.pulled"); err != nil {
 		t.Fatal(err)
 	}
 	srcDesc, _ := src.Resolve(tag)
@@ -367,13 +368,13 @@ func TestConcurrentPushPullSharedImage(t *testing.T) {
 			c := NewClient(ts.URL)
 			c.Workers = 3
 			// Everyone pushes the same image under the same name…
-			if err := c.Push(src, tag, "shared/app", "v1"); err != nil {
+			if err := c.Push(context.Background(), src, tag, "shared/app", "v1"); err != nil {
 				errs <- err
 				return
 			}
 			// …and pulls it back into a private store.
 			dst := oci.NewRepository()
-			if err := c.Pull(dst, "shared/app", "v1", "local"); err != nil {
+			if err := c.Pull(context.Background(), dst, "shared/app", "v1", "local"); err != nil {
 				errs <- err
 				return
 			}
@@ -399,7 +400,7 @@ func TestServerGC(t *testing.T) {
 	defer ts.Close()
 	src, tag := testImageRepo(t)
 	client := NewClient(ts.URL)
-	if err := client.Push(src, tag, "keep/app", "v1"); err != nil {
+	if err := client.Push(context.Background(), src, tag, "keep/app", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	orphan, err := distribIngest(srv, []byte("orphaned blob"))
@@ -417,7 +418,7 @@ func TestServerGC(t *testing.T) {
 		t.Error("orphan survived GC")
 	}
 	dst := oci.NewRepository()
-	if err := client.Pull(dst, "keep/app", "v1", "x"); err != nil {
+	if err := client.Pull(context.Background(), dst, "keep/app", "v1", "x"); err != nil {
 		t.Errorf("tagged image unpullable after GC: %v", err)
 	}
 }

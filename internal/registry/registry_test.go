@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -35,12 +36,12 @@ func TestPushPullRoundTrip(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := NewClient(ts.URL)
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
 	src, tag := testImageRepo(t)
-	if err := client.Push(src, tag, "user/demo", "v1"); err != nil {
+	if err := client.Push(context.Background(), src, tag, "user/demo", "v1"); err != nil {
 		t.Fatal(err)
 	}
 	if len(srv.Tags()) != 1 || srv.Tags()[0] != "user/demo:v1" {
@@ -48,7 +49,7 @@ func TestPushPullRoundTrip(t *testing.T) {
 	}
 
 	dst := oci.NewRepository()
-	if err := client.Pull(dst, "user/demo", "v1", "demo.pulled"); err != nil {
+	if err := client.Pull(context.Background(), dst, "user/demo", "v1", "demo.pulled"); err != nil {
 		t.Fatal(err)
 	}
 	img, err := dst.LoadByTag("demo.pulled")
@@ -75,7 +76,7 @@ func TestPullUnknown(t *testing.T) {
 	ts := httptest.NewServer(NewServer().Handler())
 	defer ts.Close()
 	client := NewClient(ts.URL)
-	if err := client.Pull(oci.NewRepository(), "ghost", "v1", "x"); err == nil {
+	if err := client.Pull(context.Background(), oci.NewRepository(), "ghost", "v1", "x"); err == nil {
 		t.Error("pulled a nonexistent image")
 	}
 }
@@ -86,7 +87,7 @@ func TestManifestByDigest(t *testing.T) {
 	defer ts.Close()
 	client := NewClient(ts.URL)
 	src, tag := testImageRepo(t)
-	if err := client.Push(src, tag, "demo", "latest"); err != nil {
+	if err := client.Push(context.Background(), src, tag, "demo", "latest"); err != nil {
 		t.Fatal(err)
 	}
 	desc, _ := src.Resolve(tag)
@@ -138,14 +139,14 @@ func TestListTags(t *testing.T) {
 	client := NewClient(ts.URL)
 	src, tag := testImageRepo(t)
 	for _, v := range []string{"v1", "v2", "latest"} {
-		if err := client.Push(src, tag, "team/app", v); err != nil {
+		if err := client.Push(context.Background(), src, tag, "team/app", v); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := client.Push(src, tag, "other/thing", "v9"); err != nil {
+	if err := client.Push(context.Background(), src, tag, "other/thing", "v9"); err != nil {
 		t.Fatal(err)
 	}
-	tags, err := client.ListTags("team/app")
+	tags, err := client.ListTags(context.Background(), "team/app")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestListTags(t *testing.T) {
 	if len(tags) != 3 || tags[0] != want[0] || tags[1] != want[1] || tags[2] != want[2] {
 		t.Errorf("tags = %v, want %v", tags, want)
 	}
-	empty, err := client.ListTags("nobody/nothing")
+	empty, err := client.ListTags(context.Background(), "nobody/nothing")
 	if err != nil || len(empty) != 0 {
 		t.Errorf("empty repo tags = %v, %v", empty, err)
 	}
@@ -172,12 +173,12 @@ func TestConcurrentPushPull(t *testing.T) {
 			defer wg.Done()
 			c := NewClient(ts.URL)
 			name := fmt.Sprintf("user%d/app", i)
-			if err := c.Push(src, tag, name, "v1"); err != nil {
+			if err := c.Push(context.Background(), src, tag, name, "v1"); err != nil {
 				errs <- err
 				return
 			}
 			dst := oci.NewRepository()
-			if err := c.Pull(dst, name, "v1", "local"); err != nil {
+			if err := c.Pull(context.Background(), dst, name, "v1", "local"); err != nil {
 				errs <- err
 			}
 		}(i)

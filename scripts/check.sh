@@ -18,7 +18,7 @@ go vet ./...
 
 echo "== comtainer-vet =="
 # The repository's own analyzer suite (digestcmp, atomicwrite, lockio,
-# safejoin, errpropagate, gonaked). Diagnostics are printed as
+# safejoin, errpropagate, gonaked, ctxsleep). Diagnostics are printed as
 # path:line:col: [analyzer] message — the [analyzer] tag names the
 # invariant that failed; see DESIGN.md "Static analysis".
 if ! go run ./cmd/comtainer-vet ./...; then
@@ -30,6 +30,15 @@ fi
 
 echo "== go build =="
 go build ./...
+
+echo "== chaos (-race, -short seed subset) =="
+# Fast fault-injection smoke: crash-restart-verify cycles over a
+# reduced seed subset (-short trims 100 seeds to 10 per suite), plus
+# the resume/cancellation/breaker tests. CI's dedicated chaos job runs
+# the full 100-seed sweep; this step catches regressions in seconds.
+go test -race -short -count=1 \
+    -run 'Chaos|CrashRestartVerify|SaveLayoutCrashConsistency|Resume|CancelAborts|Breaker|TieredDegrades' \
+    ./internal/distrib ./internal/actioncache ./internal/oci
 
 echo "== go test -race =="
 go test -race ./...
