@@ -3,28 +3,37 @@
 // repository's concurrency, digest, and filesystem invariants:
 //
 //	digestcmp     typed digest construction and comparison
+//	digestflow    compared digests trace to sanctioned constructors
 //	atomicwrite   temp+rename writes under store roots
 //	lockio        no file/network I/O while a shard mutex is held
+//	lockorder     no cycles in the global lock-acquisition order
 //	safejoin      sanitized joins for tar entry names and fsim paths
 //	errpropagate  no discarded errors from the storage packages
 //	gonaked       no fire-and-forget goroutines
+//	ctxsleep      no raw time.Sleep in retry loops
+//	ctxflow       received contexts are plumbed, not discarded
 //
 // Usage:
 //
 //	go run ./cmd/comtainer-vet ./...
 //	go run ./cmd/comtainer-vet -only lockio,safejoin ./internal/distrib
+//	go run ./cmd/comtainer-vet -cache -json ./...
 //
-// Exit status is non-zero when any diagnostic survives the
-// //comtainer:allow suppression filter. The loader is self-contained
-// (stdlib + the go command); it is not a `go vet -vettool` unitchecker
-// because this module deliberately carries no golang.org/x/tools
-// dependency.
+// With -cache, per-package results and facts are keyed by analyzer
+// versions, toolchain, source bytes, and dependency keys, and replayed
+// from $COMTAINER_VET_CACHE (or the user cache dir) on later runs; a
+// warm run re-analyzes only what changed. Exit status is non-zero when
+// any diagnostic survives the //comtainer:allow suppression filter.
+// The loader is self-contained (stdlib + the go command); it is not a
+// `go vet -vettool` unitchecker because this module deliberately
+// carries no golang.org/x/tools dependency.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"comtainer/internal/analysis"
@@ -33,12 +42,16 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		dir  = flag.String("C", ".", "directory to resolve package patterns in")
+		list       = flag.Bool("list", false, "list analyzers and exit")
+		only       = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		dir        = flag.String("C", ".", "directory to resolve package patterns in")
+		useCache   = flag.Bool("cache", false, "replay unchanged packages from the incremental cache")
+		cacheDir   = flag.String("cache-dir", "", "cache location (default: $COMTAINER_VET_CACHE or the user cache dir)")
+		jsonOut    = flag.Bool("json", false, "emit findings as JSON (including suppressed ones, flagged)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [-cache] [-cache-dir dir] [-json] [-cpuprofile out] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,25 +72,75 @@ func main() {
 		}
 	}
 
-	patterns := flag.Args()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	os.Exit(run(suite, *dir, flag.Args(), *useCache, *cacheDir, *jsonOut))
+}
+
+// run executes the suite and returns the process exit code (0 clean,
+// 1 findings, 2 operational error). It is separate from main so the
+// pprof defers above fire before exit.
+func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cacheDir string, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := analysis.Load(*dir, patterns...)
+	targets, err := analysis.Resolve(dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	diags, err := analysis.Check(pkgs, suite)
+
+	opts := &analysis.Options{}
+	if useCache {
+		if cacheDir == "" {
+			cacheDir = analysis.DefaultCacheDir()
+		}
+		cache, err := analysis.OpenCache(cacheDir)
+		if err != nil {
+			// A broken cache directory degrades to a cold run.
+			fmt.Fprintf(os.Stderr, "comtainer-vet: %v (running uncached)\n", err)
+		} else {
+			opts.Cache = cache
+		}
+	}
+
+	res, err := analysis.Run(targets, suite, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if opts.Cache != nil {
+		fmt.Fprintf(os.Stderr, "comtainer-vet: %d/%d packages cached\n", res.Cached, res.Total)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "comtainer-vet: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+
+	findings := res.Findings()
+	if jsonOut {
+		out, err := analysis.EncodeFindings(analysis.FindingsOf(res.Diags))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
 	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "comtainer-vet: %d diagnostic(s)\n", len(findings))
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,38 @@
+package actioncache
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"comtainer/internal/digest"
+)
+
+// GetJSON and PutJSON are the generic entry points for callers that
+// want a Cache tier as a typed key→document store rather than the
+// manifest/result action protocol — comtainer-vet's incremental
+// analysis cache stores per-package results this way. Values
+// round-trip through encoding/json behind the tier's usual guarantees
+// (atomic writes, digest verify-on-read, LRU eviction for DiskCache).
+
+// GetJSON fetches the document stored under key from c and decodes it
+// into out. A missing key reports (false, nil); a present but
+// undecodable document is an error.
+func GetJSON[T any](c Cache, key digest.Digest, out *T) (bool, error) {
+	raw, ok, err := c.Get(key)
+	if err != nil || !ok {
+		return false, err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("actioncache: decoding document %s: %w", key.Short(), err)
+	}
+	return true, nil
+}
+
+// PutJSON stores v as a JSON document under key in c.
+func PutJSON[T any](c Cache, key digest.Digest, v *T) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("actioncache: encoding document %s: %w", key.Short(), err)
+	}
+	return c.Put(key, raw)
+}

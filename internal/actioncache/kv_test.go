@@ -1,0 +1,59 @@
+package actioncache
+
+import (
+	"testing"
+
+	"comtainer/internal/digest"
+)
+
+type kvDoc struct {
+	Name  string   `json:"name"`
+	Count int      `json:"count"`
+	Tags  []string `json:"tags,omitempty"`
+}
+
+func TestGetPutJSONRoundTrip(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digest.FromString("kv-round-trip")
+
+	var missing kvDoc
+	ok, err := GetJSON(c, key, &missing)
+	if err != nil {
+		t.Fatalf("GetJSON on empty cache: %v", err)
+	}
+	if ok {
+		t.Fatal("GetJSON reported a hit on an empty cache")
+	}
+
+	in := kvDoc{Name: "pkg/a", Count: 3, Tags: []string{"x", "y"}}
+	if err := PutJSON(c, key, &in); err != nil {
+		t.Fatalf("PutJSON: %v", err)
+	}
+
+	var out kvDoc
+	ok, err = GetJSON(c, key, &out)
+	if err != nil || !ok {
+		t.Fatalf("GetJSON after Put: ok=%v err=%v", ok, err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Tags) != 2 {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", out, in)
+	}
+}
+
+func TestGetJSONUndecodable(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := digest.FromString("kv-not-json")
+	if err := c.Put(key, []byte("not json at all")); err != nil {
+		t.Fatal(err)
+	}
+	var out kvDoc
+	if _, err := GetJSON(c, key, &out); err == nil {
+		t.Fatal("GetJSON decoded garbage without error")
+	}
+}

@@ -33,9 +33,33 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
 
-	// Run applies the analyzer to one package.
+	// Version participates in the incremental-cache key: bump it
+	// whenever the analyzer's logic changes so stale cached results
+	// are invalidated. Zero is treated as 1.
+	Version int
+
+	// FactType, when non-nil, is a pointer to the zero value of the
+	// package-level fact this analyzer exports (its concrete type is
+	// what ExportPackageFact accepts and PackageFact returns). Facts
+	// must round-trip through encoding/json: cached packages
+	// contribute their facts from disk instead of being re-analyzed.
+	FactType Fact
+
+	// Run applies the analyzer to one package. Packages are analyzed
+	// in dependency order, so facts exported by a package's imports
+	// are available through Pass.PackageFact.
 	Run func(*Pass) error
+
+	// Finish, when non-nil, runs once after every package has been
+	// analyzed, with this analyzer's facts for all of them — the hook
+	// whole-program passes (lock-order cycle detection) use.
+	Finish func(*FinishPass) error
 }
+
+// Fact is a serializable, package-level statement an analyzer exports
+// for downstream packages — the stdlib-only analogue of go/analysis
+// facts. Implementations are plain structs with exported fields.
+type Fact interface{ AFact() }
 
 // Pass carries everything an analyzer may inspect about one package.
 type Pass struct {
@@ -46,6 +70,33 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	// Report records one diagnostic.
+	Report func(Diagnostic)
+
+	// ExportPackageFact publishes fact (of the analyzer's FactType)
+	// for the package under analysis. The fact must not be mutated
+	// after export. Nil when the analyzer declares no FactType.
+	ExportPackageFact func(fact Fact)
+
+	// PackageFact returns the fact this analyzer exported for the
+	// package with the given import path, or nil when none exists
+	// (package not analyzed, or no fact exported). The returned fact
+	// is shared: treat it as read-only.
+	PackageFact func(path string) Fact
+}
+
+// FinishPass is the whole-program view handed to Analyzer.Finish after
+// the per-package runs: every package fact this analyzer exported,
+// keyed by import path, including facts replayed from the incremental
+// cache.
+type FinishPass struct {
+	Analyzer *Analyzer
+
+	// Facts maps package import path → the fact exported for it.
+	Facts map[string]Fact
+
+	// Report records one diagnostic. Positions must be resolved
+	// token.Positions carried inside facts — the FileSet of cached
+	// packages is not available here.
 	Report func(Diagnostic)
 }
 
@@ -64,6 +115,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+
+	// Suppressed marks a diagnostic covered by a //comtainer:allow
+	// comment. The checker keeps suppressed findings (flagged) so the
+	// -json report can expose them; plain output drops them.
+	Suppressed bool
 }
 
 // String formats the diagnostic the way vet does:

@@ -1,6 +1,7 @@
-// Package analysistest runs one analyzer over small source packages on
-// disk and checks its diagnostics against `// want "regexp"` comments,
-// a minimal analogue of golang.org/x/tools/go/analysis/analysistest.
+// Package analysistest runs analyzers over small source packages on
+// disk and checks their diagnostics against `// want "regexp"`
+// comments, a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest.
 //
 // A want comment sits on the line the diagnostic is expected on and may
 // carry several quoted regular expressions, one per expected
@@ -32,40 +33,43 @@ type want struct {
 var quoted = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 // Run loads the package rooted at dir (a path relative to the calling
-// test, conventionally testdata/src/<name>), applies a, filters
-// suppressed diagnostics, and reports mismatches against the package's
-// want comments.
+// test, conventionally testdata/src/<name>), applies a through the
+// full checker (facts, Finish, suppression), and reports mismatches
+// against the package's want comments.
 func Run(t *testing.T, a *analysis.Analyzer, dir string) {
 	t.Helper()
-	pkgs, err := analysis.Load(dir, ".")
+	RunSuite(t, analysis.Suite{a}, dir, ".")
+}
+
+// RunSuite loads every package matched by patterns under dir and runs
+// the whole suite over them with the real checker, so facts flow
+// between the loaded packages and whole-program Finish steps execute.
+// Diagnostics from all packages are matched against all want comments
+// (suppressed diagnostics are dropped first).
+func RunSuite(t *testing.T, suite analysis.Suite, dir string, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
 	if len(pkgs) == 0 {
 		t.Fatalf("no packages loaded from %s", dir)
 	}
-	for _, pkg := range pkgs {
-		var diags []analysis.Diagnostic
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkg.Path, err)
-		}
-		diags = analysis.FilterSuppressed(pkg, diags)
-		check(t, pkg, diags)
+	all, err := analysis.CheckPackages(pkgs, suite)
+	if err != nil {
+		t.Fatalf("checking %s: %v", dir, err)
 	}
-}
+	var diags []analysis.Diagnostic
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
 
-// check matches diagnostics against want comments one-to-one per line.
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
-	t.Helper()
-	wants := collectWants(t, pkg)
+	var wants []*want
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

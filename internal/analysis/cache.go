@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"comtainer/internal/actioncache"
+	"comtainer/internal/digest"
+)
+
+// cacheSchema is the on-disk format version; bump to invalidate every
+// entry when the entry layout or keying scheme changes.
+const cacheSchema = "comtainer-vet-cache/v1"
+
+// defaultCacheCap bounds the vet cache: entries are small JSON
+// documents, so 256 MiB is effectively unbounded in practice while
+// still guaranteeing an abandoned cache directory cannot grow forever.
+const defaultCacheCap = 256 << 20
+
+// Cache replays per-package analysis results keyed by everything that
+// can change them: the analyzer suite (names and versions), the Go
+// toolchain, the package's source bytes, and — transitively — the
+// keys of its in-repo dependencies plus the export data of external
+// ones. Storage is an actioncache.DiskCache, reusing its sharded
+// layout, atomic writes, digest verify-on-read, and LRU eviction.
+type Cache struct {
+	disk *actioncache.DiskCache
+
+	// exportHashes memoizes export-data file hashes within one run;
+	// many targets import the same dependency.
+	exportHashes map[string]digest.Digest
+}
+
+// OpenCache opens (creating if needed) a vet cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	disk, err := actioncache.NewDiskCache(dir, defaultCacheCap)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: opening cache: %w", err)
+	}
+	return &Cache{disk: disk, exportHashes: make(map[string]digest.Digest)}, nil
+}
+
+// DefaultCacheDir returns the cache location used when the caller
+// does not choose one: $COMTAINER_VET_CACHE, or comtainer-vet under
+// the user cache directory.
+func DefaultCacheDir() string {
+	if env := os.Getenv("COMTAINER_VET_CACHE"); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		base = os.TempDir()
+	}
+	return filepath.Join(base, "comtainer-vet")
+}
+
+// cacheEntry is one package's serialized contribution to a run:
+// its raw (pre-suppression) diagnostics, the facts each analyzer
+// exported, and its allow sites, so suppression and whole-program
+// steps work without the package's source.
+type cacheEntry struct {
+	Diags  []Diagnostic               `json:"diags,omitempty"`
+	Facts  map[string]json.RawMessage `json:"facts,omitempty"`
+	Allows []allowSite                `json:"allows,omitempty"`
+}
+
+// key derives the cache key for target t under suite. deps carries
+// the key state of already-keyed targets (dependency-first order
+// guarantees t's in-repo imports are present); an unkeyable
+// dependency makes t unkeyable too.
+func (c *Cache) key(t *Target, suite Suite, deps map[string]keyState) (digest.Digest, error) {
+	var b strings.Builder
+	b.WriteString(cacheSchema)
+	b.WriteByte(0)
+	b.WriteString(runtime.Version())
+	b.WriteByte(0)
+	for _, a := range suite {
+		v := a.Version
+		if v == 0 {
+			v = 1
+		}
+		fmt.Fprintf(&b, "%s@%d\x00", a.Name, v)
+	}
+	b.WriteString(t.Path)
+	b.WriteByte(0)
+	b.WriteString(t.Dir)
+	b.WriteByte(0)
+	for _, name := range t.GoFiles {
+		data, err := os.ReadFile(filepath.Join(t.Dir, name))
+		if err != nil {
+			return "", fmt.Errorf("analysis: keying %s: %w", t.Path, err)
+		}
+		fmt.Fprintf(&b, "src %s %s\x00", name, digest.FromBytes(data))
+	}
+	for _, imp := range t.Imports {
+		if dep, ok := deps[imp]; ok {
+			if !dep.ok {
+				return "", fmt.Errorf("analysis: keying %s: dependency %s is unkeyable", t.Path, imp)
+			}
+			fmt.Fprintf(&b, "dep %s %s\x00", imp, dep.key)
+			continue
+		}
+		h, err := c.exportHash(t.ExportFile(imp))
+		if err != nil {
+			return "", fmt.Errorf("analysis: keying %s: import %s: %w", t.Path, imp, err)
+		}
+		fmt.Fprintf(&b, "imp %s %s\x00", imp, h)
+	}
+	return digest.FromString(b.String()), nil
+}
+
+// exportHash hashes one export-data file, memoized per run. Imports
+// without export data (only "unsafe" in practice) hash to a marker.
+func (c *Cache) exportHash(file string) (digest.Digest, error) {
+	if file == "" {
+		return digest.FromString("noexport"), nil
+	}
+	if h, ok := c.exportHashes[file]; ok {
+		return h, nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h, _, err := digest.FromReader(f)
+	if err != nil {
+		return "", err
+	}
+	c.exportHashes[file] = h
+	return h, nil
+}
+
+// get returns the cached entry under key, or nil on any miss or
+// decode failure (the caller re-analyzes and overwrites).
+func (c *Cache) get(key digest.Digest) *cacheEntry {
+	var entry cacheEntry
+	ok, err := actioncache.GetJSON(c.disk, key, &entry)
+	if err != nil || !ok {
+		return nil
+	}
+	return &entry
+}
+
+// put stores entry under key; failures are deliberately swallowed —
+// a broken cache degrades to a cold run, never to a failed one.
+func (c *Cache) put(key digest.Digest, entry *cacheEntry) {
+	//comtainer:allow errpropagate -- cache writes are best-effort; a failed Put means a cold re-run, not a wrong result
+	_ = actioncache.PutJSON(c.disk, key, entry)
+}

@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/passes/ctxsleep"
+	"comtainer/internal/analysis/passes/lockorder"
+)
+
+// cacheModule is a two-package module with one ctxsleep violation in
+// the root and a cross-package lock-order cycle, so both plain
+// diagnostics and fact-driven Finish diagnostics must survive replay.
+func cacheModule(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"go.mod": "module cmod\n\ngo 1.22\n",
+		"a.go": `package cmod
+
+import (
+	"sync"
+	"time"
+
+	"cmod/sub"
+)
+
+var MuA sync.Mutex
+
+func SleepLoop(n int) {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func CrossAB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	sub.LockB()
+}
+
+func CrossBA() {
+	sub.MuB.Lock()
+	defer sub.MuB.Unlock()
+	MuA.Lock()
+	MuA.Unlock()
+}
+`,
+		"sub/sub.go": `package sub
+
+import "sync"
+
+var MuB sync.Mutex
+
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}
+`,
+	})
+}
+
+func runCached(t *testing.T, dir string, cache *analysis.Cache) *analysis.Result {
+	t.Helper()
+	targets, err := analysis.Resolve(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := analysis.Suite{ctxsleep.Analyzer, lockorder.Analyzer}
+	res, err := analysis.Run(targets, suite, &analysis.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCacheWarmRunReplaysEverything(t *testing.T) {
+	dir := cacheModule(t)
+	cache, err := analysis.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := runCached(t, dir, cache)
+	if cold.Cached != 0 {
+		t.Fatalf("cold run replayed %d packages from an empty cache", cold.Cached)
+	}
+	if cold.Total != 2 {
+		t.Fatalf("resolved %d targets, want 2", cold.Total)
+	}
+	if n := len(cold.Findings()); n != 2 {
+		t.Fatalf("cold run found %d diagnostics, want 2 (ctxsleep + lockorder):\n%v",
+			n, cold.Diags)
+	}
+
+	warm := runCached(t, dir, cache)
+	if warm.Cached != warm.Total {
+		t.Fatalf("warm run replayed %d/%d packages, want all", warm.Cached, warm.Total)
+	}
+	if len(warm.Pkgs) != 0 {
+		t.Fatalf("warm run loaded %d packages from source", len(warm.Pkgs))
+	}
+	if !reflect.DeepEqual(cold.Diags, warm.Diags) {
+		t.Fatalf("replayed diagnostics differ:\ncold: %v\nwarm: %v", cold.Diags, warm.Diags)
+	}
+}
+
+func TestCacheInvalidatesDependents(t *testing.T) {
+	dir := cacheModule(t)
+	cache, err := analysis.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runCached(t, dir, cache)
+
+	// Touching the leaf package must re-analyze it AND its importer:
+	// the root's key embeds sub's key.
+	sub := filepath.Join(dir, "sub", "sub.go")
+	data, err := os.ReadFile(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sub, append(data, []byte("\nfunc Extra() {}\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	invalidated := runCached(t, dir, cache)
+	if invalidated.Cached != 0 {
+		t.Fatalf("after editing a dependency, %d/%d packages were still replayed",
+			invalidated.Cached, invalidated.Total)
+	}
+	if !reflect.DeepEqual(cold.Diags, invalidated.Diags) {
+		t.Fatalf("diagnostics changed after a semantically neutral edit:\nbefore: %v\nafter:  %v",
+			cold.Diags, invalidated.Diags)
+	}
+
+	// And the edited state itself caches.
+	warm := runCached(t, dir, cache)
+	if warm.Cached != warm.Total {
+		t.Fatalf("re-warmed run replayed %d/%d packages, want all", warm.Cached, warm.Total)
+	}
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the call-graph substrate the interprocedural passes
+// share. There is deliberately no materialized whole-program graph
+// object: with the incremental cache, most packages are replayed from
+// serialized facts and have no AST or type information in memory. Each
+// pass therefore records, per function, its outgoing call edges as
+// stable string identifiers (FuncID) while the package is live, and
+// the whole-program step links them — class-hierarchy analysis (CHA):
+// static calls resolve to their one callee, interface-method calls
+// resolve to every visible implementation (Implementations).
+
+// FuncID returns the stable package-qualified identifier of fn:
+// "path.Name" for a package function, "path.(Type).Name" for a method
+// (pointer receivers collapse onto the named type, so (*T).M and
+// (T).M share an identity). The empty string identifies nothing.
+func FuncID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkg + "." + fn.Name()
+	}
+	rpath, rname := NamedTypePath(sig.Recv().Type())
+	if rname == "" {
+		return pkg + "." + fn.Name()
+	}
+	if rpath == "" {
+		rpath = pkg
+	}
+	return rpath + ".(" + rname + ")." + fn.Name()
+}
+
+// CallTarget classifies one call site: the callee's FuncID and whether
+// dispatch goes through an interface method (to be fanned out to
+// implementations by the whole-program link step). Calls through plain
+// function values return ok=false — a soundness gap the passes accept
+// and document.
+func CallTarget(info *types.Info, call *ast.CallExpr) (id string, iface bool, ok bool) {
+	fn := Callee(info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	if sig, sok := fn.Type().(*types.Signature); sok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return FuncID(fn), true, true
+		}
+	}
+	return FuncID(fn), false, true
+}
+
+// Implementations enumerates the CHA bindings visible to pkg: for
+// every named interface I and every named non-interface type T
+// declared in pkg or one of its direct imports, if *T satisfies I,
+// each interface method id maps to the implementing method id. The
+// whole-program step unions the maps of every package, so a binding
+// is found as long as one analyzed package sees both types.
+func Implementations(pkg *types.Package) map[string][]string {
+	scopes := []*types.Package{pkg}
+	scopes = append(scopes, pkg.Imports()...)
+
+	var ifaces []*types.Named
+	var concretes []*types.Named
+	for _, p := range scopes {
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				if named.Underlying().(*types.Interface).NumMethods() > 0 {
+					ifaces = append(ifaces, named)
+				}
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+
+	out := make(map[string][]string)
+	seen := make(map[string]map[string]bool)
+	for _, iface := range ifaces {
+		it := iface.Underlying().(*types.Interface)
+		for _, c := range concretes {
+			ptr := types.NewPointer(c)
+			if !types.Implements(ptr, it) && !types.Implements(c, it) {
+				continue
+			}
+			mset := types.NewMethodSet(ptr)
+			for i := 0; i < it.NumMethods(); i++ {
+				im := it.Method(i)
+				sel := mset.Lookup(im.Pkg(), im.Name())
+				if sel == nil {
+					continue
+				}
+				impl, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				iid, cid := FuncID(im), FuncID(impl)
+				if iid == "" || cid == "" {
+					continue
+				}
+				if seen[iid] == nil {
+					seen[iid] = make(map[string]bool)
+				}
+				if !seen[iid][cid] {
+					seen[iid][cid] = true
+					out[iid] = append(out[iid], cid)
+				}
+			}
+		}
+	}
+	for _, impls := range out {
+		sort.Strings(impls)
+	}
+	return out
+}
+
+// MergeImplementations unions CHA binding maps from many packages into
+// dst, deduplicating implementation lists.
+func MergeImplementations(dst map[string][]string, src map[string][]string) {
+	for iface, impls := range src {
+		have := make(map[string]bool, len(dst[iface]))
+		for _, id := range dst[iface] {
+			have[id] = true
+		}
+		for _, id := range impls {
+			if !have[id] {
+				have[id] = true
+				dst[iface] = append(dst[iface], id)
+			}
+		}
+		sort.Strings(dst[iface])
+	}
+}
+
+// LockClass resolves the repository-wide identity of the mutex behind
+// a lock receiver expression (the x in x.Lock()):
+//
+//   - a field selector s.mu → "pkgpath.Owner.mu" where Owner is the
+//     named type declaring the field (index expressions in between,
+//     as in c.shards[i].mu, resolve through the element type);
+//   - a package-level var mu → "pkgpath.mu".
+//
+// Function-local mutexes (and shapes the resolver cannot attribute to
+// a named declaration) return "": they cannot participate in a
+// cross-function ordering cycle under this abstraction.
+func LockClass(info *types.Info, recv ast.Expr) string {
+	switch v := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		obj, ok := info.Uses[v].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		// Package-level mutex: declared directly in package scope.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[v]
+		if !ok {
+			// Qualified identifier pkg.Mu: a package-level var of the
+			// imported package (no Selections entry exists for these).
+			if x, xok := ast.Unparen(v.X).(*ast.Ident); xok {
+				if _, isPkg := info.Uses[x].(*types.PkgName); isPkg {
+					if obj, vok := info.Uses[v.Sel].(*types.Var); vok && obj.Pkg() != nil {
+						return obj.Pkg().Path() + "." + obj.Name()
+					}
+				}
+			}
+			return ""
+		}
+		if sel.Kind() != types.FieldVal {
+			return ""
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return ""
+		}
+		rpath, rname := NamedTypePath(sel.Recv())
+		if rname == "" {
+			// Unnamed receiver (e.g. a slice element of an anonymous
+			// struct); fall back to the field's own package.
+			return ""
+		}
+		if rpath == "" && field.Pkg() != nil {
+			rpath = field.Pkg().Path()
+		}
+		return rpath + "." + rname + "." + field.Name()
+	}
+	return ""
+}

@@ -1,38 +1,310 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
+	"reflect"
 	"sort"
 	"strings"
+
+	"comtainer/internal/digest"
 )
 
-// Check runs every analyzer over every package and returns the
-// surviving diagnostics sorted by position. Diagnostics silenced by a
-// //comtainer:allow comment are dropped.
-func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Options configures a checker run.
+type Options struct {
+	// Cache, when non-nil, replays per-package results and facts for
+	// packages whose key (analyzer versions, source hashes, dependency
+	// keys) is unchanged, skipping parse, type-check, and analysis.
+	Cache *Cache
+}
+
+// Result is the outcome of one checker run.
+type Result struct {
+	// Diags holds every diagnostic, including suppressed ones
+	// (flagged), sorted by position.
+	Diags []Diagnostic
+	// Total and Cached count analyzed packages and how many of them
+	// were replayed from the incremental cache.
+	Total, Cached int
+	// Pkgs are the packages that were actually loaded from source
+	// this run (cache misses); cached packages do not appear.
+	Pkgs []*Package
+}
+
+// Findings returns the diagnostics that survived suppression.
+func (r *Result) Findings() []Diagnostic {
 	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run analyzes targets with suite in dependency order, so facts
+// exported by a package are visible to its dependents, then executes
+// each analyzer's Finish step over the union of facts. With a cache
+// configured, unchanged packages are replayed instead of re-analyzed.
+func Run(targets []*Target, suite Suite, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	ck := newChecker(suite)
+	res := &Result{Total: len(targets)}
+
+	keys := make(map[string]keyState, len(targets))
+	for _, t := range sortTargets(targets) {
+		var entry *cacheEntry
+		if opts.Cache != nil {
+			key, err := opts.Cache.key(t, suite, keys)
+			if err == nil {
+				keys[t.Path] = keyState{key: key, ok: true}
+				entry = opts.Cache.get(key)
+			} else {
+				keys[t.Path] = keyState{}
+			}
+		}
+		if entry != nil {
+			if err := ck.replay(t.Path, entry); err == nil {
+				res.Cached++
+				continue
+			}
+			// A corrupt or stale-schema entry falls through to a
+			// fresh analysis below.
+			ck.forget(t.Path)
+		}
+		pkg, err := t.Load()
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+		fresh, err := ck.analyze(pkg)
+		if err != nil {
+			return nil, err
+		}
+		if ks := keys[t.Path]; ks.ok && opts.Cache != nil {
+			opts.Cache.put(ks.key, fresh)
+		}
+	}
+	diags, err := ck.finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Diags = diags
+	return res, nil
+}
+
+// keyState records a target's cache key, or that keying failed and
+// the package must not be cached this run.
+type keyState struct {
+	key digest.Digest
+	ok  bool
+}
+
+// CheckPackages runs suite over already-loaded packages, in the order
+// given, with an in-memory fact store and the Finish step; no caching.
+// It returns every diagnostic with its Suppressed flag set.
+func CheckPackages(pkgs []*Package, suite []*Analyzer) ([]Diagnostic, error) {
+	ck := newChecker(suite)
 	for _, pkg := range pkgs {
-		allow := collectAllows(pkg)
-		for _, a := range analyzers {
-			var diags []Diagnostic
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Report:    func(d Diagnostic) { diags = append(diags, d) },
+		if _, err := ck.analyze(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return ck.finish()
+}
+
+// Check runs every analyzer over every package and returns the
+// surviving diagnostics sorted by position — the historical entry
+// point, kept for callers that do not need caching or the suppressed
+// view.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := CheckPackages(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// sortTargets orders targets dependency-first (imports before
+// importers). go list -deps already emits this order; the explicit
+// sort keeps the facts pipeline correct for any caller-built slice.
+func sortTargets(targets []*Target) []*Target {
+	byPath := make(map[string]*Target, len(targets))
+	for _, t := range targets {
+		byPath[t.Path] = t
+	}
+	var out []*Target
+	state := make(map[string]int, len(targets)) // 0 new, 1 visiting, 2 done
+	var visit func(t *Target)
+	visit = func(t *Target) {
+		if state[t.Path] != 0 {
+			return // visiting (import cycle: impossible in Go) or done
+		}
+		state[t.Path] = 1
+		for _, imp := range t.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
-			}
-			for _, d := range diags {
-				if !allow.suppressed(d) {
-					out = append(out, d)
+		}
+		state[t.Path] = 2
+		out = append(out, t)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return out
+}
+
+// checker accumulates per-package diagnostics, allow sites, and facts
+// across one run, whether packages were analyzed fresh or replayed.
+type checker struct {
+	suite []*Analyzer
+	diags []Diagnostic
+	sites []allowSite
+	facts map[string]map[string]Fact // analyzer → package path → fact
+
+	// perPkg remembers what each package contributed, so a replay
+	// that later proves corrupt can be forgotten cleanly.
+	perPkg map[string]*cacheEntry
+}
+
+func newChecker(suite []*Analyzer) *checker {
+	return &checker{
+		suite:  suite,
+		facts:  make(map[string]map[string]Fact),
+		perPkg: make(map[string]*cacheEntry),
+	}
+}
+
+// analyze loads allow sites, runs every analyzer over pkg, installs
+// exported facts, and returns the package's serializable contribution
+// for the cache.
+func (ck *checker) analyze(pkg *Package) (*cacheEntry, error) {
+	entry := &cacheEntry{Facts: make(map[string]json.RawMessage)}
+	sites, reasonDiags := scanAllows(pkg)
+	entry.Allows = sites
+	entry.Diags = append(entry.Diags, reasonDiags...)
+
+	for _, a := range ck.suite {
+		a := a
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			PackageFact: func(path string) Fact {
+				return ck.facts[a.Name][path]
+			},
+		}
+		if a.FactType != nil {
+			pass.ExportPackageFact = func(f Fact) {
+				ck.installFact(a.Name, pkg.Path, f)
+				raw, err := json.Marshal(f)
+				if err == nil {
+					entry.Facts[a.Name] = raw
 				}
 			}
 		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		entry.Diags = append(entry.Diags, diags...)
+	}
+	ck.adopt(pkg.Path, entry)
+	return entry, nil
+}
+
+// replay installs a cached package contribution: its diagnostics,
+// allow sites, and decoded facts.
+func (ck *checker) replay(path string, entry *cacheEntry) error {
+	for name, raw := range entry.Facts {
+		a := findAnalyzer(ck.suite, name)
+		if a == nil || a.FactType == nil {
+			continue
+		}
+		f, err := decodeFact(a.FactType, raw)
+		if err != nil {
+			return fmt.Errorf("analysis: cached fact %s/%s: %w", name, path, err)
+		}
+		ck.installFact(name, path, f)
+	}
+	ck.adopt(path, entry)
+	return nil
+}
+
+// adopt records entry's diagnostics and allow sites under path.
+func (ck *checker) adopt(path string, entry *cacheEntry) {
+	ck.perPkg[path] = entry
+	ck.diags = append(ck.diags, entry.Diags...)
+	ck.sites = append(ck.sites, entry.Allows...)
+}
+
+// forget removes everything a (failed) replay installed for path.
+func (ck *checker) forget(path string) {
+	entry := ck.perPkg[path]
+	if entry == nil {
+		return
+	}
+	delete(ck.perPkg, path)
+	ck.diags = ck.diags[:len(ck.diags)-len(entry.Diags)]
+	ck.sites = ck.sites[:len(ck.sites)-len(entry.Allows)]
+	for _, byPkg := range ck.facts {
+		delete(byPkg, path)
+	}
+}
+
+func (ck *checker) installFact(analyzer, path string, f Fact) {
+	byPkg := ck.facts[analyzer]
+	if byPkg == nil {
+		byPkg = make(map[string]Fact)
+		ck.facts[analyzer] = byPkg
+	}
+	byPkg[path] = f
+}
+
+// finish runs the whole-program steps, applies suppression, and
+// returns the sorted diagnostics.
+func (ck *checker) finish() ([]Diagnostic, error) {
+	for _, a := range ck.suite {
+		if a.Finish == nil {
+			continue
+		}
+		facts := ck.facts[a.Name]
+		if facts == nil {
+			facts = make(map[string]Fact)
+		}
+		fp := &FinishPass{
+			Analyzer: a,
+			Facts:    facts,
+			Report:   func(d Diagnostic) { ck.diags = append(ck.diags, d) },
+		}
+		if err := a.Finish(fp); err != nil {
+			return nil, fmt.Errorf("analysis: finishing %s: %w", a.Name, err)
+		}
+	}
+
+	ix := buildAllowIndex(ck.sites)
+	out := make([]Diagnostic, len(ck.diags))
+	for i, d := range ck.diags {
+		// The reason-enforcement diagnostic is not itself
+		// suppressible: an allow comment cannot vouch for its own
+		// missing justification.
+		if d.Analyzer != AllowAnalyzerName {
+			d.Suppressed = ix.suppressed(d)
+		}
+		out[i] = d
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -42,63 +314,107 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out, nil
 }
 
-// allowIndex records, per file, which analyzer names are allowed on
-// which lines.
-type allowIndex struct {
-	// byLine maps filename → line → analyzer names allowed there.
-	byLine map[string]map[int]map[string]bool
+func findAnalyzer(suite []*Analyzer, name string) *Analyzer {
+	for _, a := range suite {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
 }
 
-// suppressed reports whether d is covered by an allow comment on its
-// own line or the line above (function-doc allows are expanded onto
-// every line of the function when the index is built).
-func (ix *allowIndex) suppressed(d Diagnostic) bool {
-	lines := ix.byLine[d.Pos.Filename]
-	if lines == nil {
-		return false
+// decodeFact unmarshals raw into a fresh value of proto's concrete
+// type (proto must be a non-nil pointer, per Analyzer.FactType).
+func decodeFact(proto Fact, raw []byte) (Fact, error) {
+	t := reflect.TypeOf(proto)
+	if t == nil || t.Kind() != reflect.Pointer {
+		return nil, fmt.Errorf("fact prototype %T is not a pointer", proto)
 	}
-	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if names := lines[ln]; names[d.Analyzer] || names["all"] {
-			return true
+	v := reflect.New(t.Elem()).Interface().(Fact)
+	if err := json.Unmarshal(raw, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// AllowAnalyzerName tags the diagnostics the suppression scanner
+// itself emits: a //comtainer:allow comment with no "-- reason".
+const AllowAnalyzerName = "allow"
+
+// allowSite is one suppression range: Names are allowed on lines
+// Line..EndLine (plus the line after EndLine, matching the historical
+// "comment above the flagged line" behavior).
+type allowSite struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	EndLine int      `json:"endLine"`
+	Names   []string `json:"names"`
+}
+
+// allowIndex answers suppression queries over a set of sites.
+type allowIndex struct {
+	byFile map[string][]allowSite
+}
+
+func buildAllowIndex(sites []allowSite) *allowIndex {
+	ix := &allowIndex{byFile: make(map[string][]allowSite)}
+	for _, s := range sites {
+		ix.byFile[s.File] = append(ix.byFile[s.File], s)
+	}
+	return ix
+}
+
+// suppressed reports whether d is covered by an allow site: the
+// diagnostic's line falls inside the site's range extended one line
+// past its end (the comment-above-the-line form), and the site names
+// the analyzer or "all".
+func (ix *allowIndex) suppressed(d Diagnostic) bool {
+	for _, s := range ix.byFile[d.Pos.Filename] {
+		if d.Pos.Line < s.Line || d.Pos.Line > s.EndLine+1 {
+			continue
+		}
+		for _, n := range s.Names {
+			if n == d.Analyzer || n == "all" {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// collectAllows indexes every //comtainer:allow comment in the
-// package. A comment in a function's doc block applies to the whole
-// function body.
-func collectAllows(pkg *Package) *allowIndex {
-	ix := &allowIndex{byLine: make(map[string]map[int]map[string]bool)}
-	add := func(filename string, line int, names []string) {
-		lines := ix.byLine[filename]
-		if lines == nil {
-			lines = make(map[int]map[string]bool)
-			ix.byLine[filename] = lines
-		}
-		set := lines[line]
-		if set == nil {
-			set = make(map[string]bool)
-			lines[line] = set
-		}
-		for _, n := range names {
-			set[n] = true
-		}
-	}
+// scanAllows indexes every //comtainer:allow comment in the package
+// and emits a diagnostic for each one lacking a reason. A comment in
+// a function's doc block applies to the whole function body.
+func scanAllows(pkg *Package) ([]allowSite, []Diagnostic) {
+	var sites []allowSite
+	var diags []Diagnostic
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				names := parseAllow(c.Text)
+				names, hasReason := parseAllow(c.Text)
 				if names == nil {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				add(pos.Filename, pos.Line, names)
+				sites = append(sites, allowSite{
+					File: pos.Filename, Line: pos.Line, EndLine: pos.Line, Names: names,
+				})
+				if !hasReason {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: AllowAnalyzerName,
+						Message: fmt.Sprintf("//comtainer:allow %s has no reason; append \" -- <why this exception is safe>\"",
+							strings.Join(names, ",")),
+					})
+				}
 			}
 		}
 		// Doc-comment allows cover the whole declared function.
@@ -109,55 +425,61 @@ func collectAllows(pkg *Package) *allowIndex {
 			}
 			var names []string
 			for _, c := range fd.Doc.List {
-				names = append(names, parseAllow(c.Text)...)
+				ns, _ := parseAllow(c.Text)
+				names = append(names, ns...)
 			}
 			if len(names) == 0 {
 				continue
 			}
 			start := pkg.Fset.Position(fd.Pos())
 			end := pkg.Fset.Position(fd.End())
-			for ln := start.Line; ln <= end.Line; ln++ {
-				add(start.Filename, ln, names)
-			}
+			sites = append(sites, allowSite{
+				File: start.Filename, Line: start.Line, EndLine: end.Line, Names: names,
+			})
 		}
 	}
-	return ix
+	return sites, diags
 }
 
 // parseAllow extracts analyzer names from one comment, returning nil
-// when the comment is not an allow directive. Accepted forms:
+// names when the comment is not an allow directive, and whether a
+// non-empty reason follows the "--" separator. Accepted forms:
 //
-//	//comtainer:allow lockio
-//	//comtainer:allow lockio,errpropagate -- rename must stay serialized
-func parseAllow(text string) []string {
+//	//comtainer:allow lockio -- rename must stay serialized
+//	//comtainer:allow lockio,errpropagate -- reason spans both
+func parseAllow(text string) (names []string, hasReason bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimPrefix(text, "/*")
 	text = strings.TrimSpace(text)
 	rest, ok := strings.CutPrefix(text, "comtainer:allow")
 	if !ok {
-		return nil
-	}
-	if reason := strings.Index(rest, "--"); reason >= 0 {
-		rest = rest[:reason]
+		return nil, false
 	}
 	rest = strings.TrimSuffix(rest, "*/")
-	var names []string
+	if i := strings.Index(rest, "--"); i >= 0 {
+		hasReason = strings.TrimSpace(rest[i+2:]) != ""
+		rest = rest[:i]
+	}
 	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
 		if f != "" {
 			names = append(names, f)
 		}
 	}
-	return names
+	if names == nil {
+		return nil, false
+	}
+	return names, hasReason
 }
 
 // FilterSuppressed applies the //comtainer:allow filtering to an
 // externally produced diagnostic list — the hook the analysistest
 // harness uses so testdata can exercise the suppression syntax.
 func FilterSuppressed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	allow := collectAllows(pkg)
+	sites, _ := scanAllows(pkg)
+	ix := buildAllowIndex(sites)
 	var out []Diagnostic
 	for _, d := range diags {
-		if !allow.suppressed(d) {
+		if !ix.suppressed(d) {
 			out = append(out, d)
 		}
 	}

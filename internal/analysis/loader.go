@@ -25,6 +25,30 @@ type Package struct {
 	Info  *types.Info
 }
 
+// Target is one package matched by the load patterns, resolved but not
+// yet parsed or type-checked. The split lets the incremental checker
+// compute cache keys from Target metadata and skip Load entirely for
+// packages whose cached results are still valid.
+type Target struct {
+	// Path is the package import path.
+	Path string
+	// Dir is the package's source directory (absolute).
+	Dir string
+	// GoFiles are the package's source file base names, in build
+	// order, relative to Dir.
+	GoFiles []string
+	// Imports are the direct import paths (including stdlib).
+	Imports []string
+
+	fset    *token.FileSet
+	exports map[string]string
+	imp     types.Importer
+}
+
+// ExportFile returns the compiler export-data file recorded for the
+// import path, or "" when go list produced none.
+func (t *Target) ExportFile(path string) string { return t.exports[path] }
+
 // listedPkg is the subset of `go list -json` output the loader needs.
 type listedPkg struct {
 	ImportPath string
@@ -32,19 +56,21 @@ type listedPkg struct {
 	Export     string
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
-// Load resolves patterns (e.g. "./...") relative to dir with the go
-// command and type-checks every matched package from source. Imports —
-// including imports of sibling packages in the same module — are
-// satisfied from compiler export data produced by `go list -export`,
-// so loading needs no dependency ordering and sees exactly the types
-// the compiler saw. Test files are not loaded: the invariants the
-// analyzers enforce apply to library and binary code.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// Resolve expands patterns (e.g. "./...") relative to dir with the go
+// command and returns one Target per matched package, in go list's
+// dependency-first order. Imports — including sibling packages in the
+// same module and vendored dependencies — will be satisfied from
+// compiler export data produced by `go list -export`, so targets can
+// be loaded in any order and see exactly the types the compiler saw.
+// Test files are not loaded: the invariants the analyzers enforce
+// apply to library and binary code.
+func Resolve(dir string, patterns ...string) ([]*Target, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -53,7 +79,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	exports := make(map[string]string, len(listed))
-	var targets []*listedPkg
+	var targets []*Target
 	for _, p := range listed {
 		if p.Error != nil {
 			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
@@ -61,23 +87,46 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			q := p
-			targets = append(targets, &q)
+		if p.DepOnly || p.Standard {
+			continue
 		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", p.ImportPath)
+		}
+		targets = append(targets, &Target{
+			Path:    p.ImportPath,
+			Dir:     p.Dir,
+			GoFiles: p.GoFiles,
+			Imports: p.Imports,
+		})
 	}
-
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, func(path string) (string, bool) {
 		f, ok := exports[path]
 		return f, ok
 	})
-	var out []*Package
 	for _, t := range targets {
-		if len(t.CgoFiles) > 0 {
-			return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", t.ImportPath)
-		}
-		pkg, err := typeCheckDir(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		t.fset, t.exports, t.imp = fset, exports, imp
+	}
+	return targets, nil
+}
+
+// Load parses and type-checks the target. Calls share one FileSet and
+// one caching importer across all targets of a Resolve.
+func (t *Target) Load() (*Package, error) {
+	return typeCheckDir(t.fset, t.imp, t.Path, t.Dir, t.GoFiles)
+}
+
+// Load resolves patterns relative to dir and type-checks every matched
+// package from source — Resolve plus Target.Load over each result.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := Resolve(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		pkg, err := t.Load()
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +140,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Imports,Standard,DepOnly,Error",
 		"--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)

@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comtainer/internal/analysis"
+)
+
+// writeTree materializes a file tree under a fresh temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadTypeErrorIsCleanDiagnostic(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"bad.go": "package tmod\n\nfunc Broken() int { return \"not an int\" }\n",
+	})
+	_, err := analysis.Load(dir, ".")
+	if err == nil {
+		t.Fatal("loading a package with a type error succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Fatalf("type-error diagnostic lost its analysis prefix: %v", err)
+	}
+}
+
+func TestExportImporterMissingExportData(t *testing.T) {
+	imp := analysis.ExportImporter(token.NewFileSet(), func(string) (string, bool) {
+		return "", false
+	})
+	_, err := imp.Import("os")
+	if err == nil {
+		t.Fatal("importing without export data succeeded")
+	}
+	if !strings.Contains(err.Error(), "no export data") {
+		t.Fatalf("missing export data surfaced as %v", err)
+	}
+}
+
+// vendoredModule is a module whose only dependency lives in vendor/,
+// so loading exercises the -mod=vendor resolution path offline.
+func vendoredModule(t *testing.T, mainSrc string) string {
+	t.Helper()
+	return writeTree(t, map[string]string{
+		"go.mod": "module vmod\n\ngo 1.22\n\nrequire example.com/dep v0.0.0\n",
+		"a.go":   mainSrc,
+		"vendor/modules.txt": "# example.com/dep v0.0.0\n" +
+			"## explicit; go 1.22\n" +
+			"example.com/dep\n",
+		"vendor/example.com/dep/dep.go": "package dep\n\nfunc V() int { return 1 }\n",
+	})
+}
+
+func TestLoadVendoredImport(t *testing.T) {
+	dir := vendoredModule(t,
+		"package vmod\n\nimport \"example.com/dep\"\n\nfunc Use() int { return dep.V() }\n")
+	pkgs, err := analysis.Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading a vendored module: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "vmod" {
+		t.Fatalf("loaded %d packages, want vmod alone", len(pkgs))
+	}
+	if pkgs[0].Types.Scope().Lookup("Use") == nil {
+		t.Fatal("type-checked package lost its declarations")
+	}
+}
+
+func TestLoadMissingVendoredImport(t *testing.T) {
+	dir := vendoredModule(t,
+		"package vmod\n\nimport \"example.com/missing\"\n\nvar _ = missing.V\n")
+	_, err := analysis.Load(dir, ".")
+	if err == nil {
+		t.Fatal("loading with a missing vendored import succeeded")
+	}
+	if !strings.Contains(err.Error(), "analysis:") {
+		t.Fatalf("missing-import diagnostic lost its analysis prefix: %v", err)
+	}
+}

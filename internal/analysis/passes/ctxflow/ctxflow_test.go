@@ -1,0 +1,14 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{ctxflow.Analyzer},
+		"testdata/src/ctxflow", "./a", "./b", "./cmd")
+}

@@ -1,0 +1,70 @@
+// Package a exercises the ctxflow analyzer.
+package a
+
+import (
+	"context"
+
+	"comtainer/internal/analysis/passes/ctxflow/testdata/src/ctxflow/b"
+)
+
+func discardsCtx(ctx context.Context) error {
+	return b.WithCtx(context.Background()) // want `context.Background\(\) discards the ctx parameter`
+}
+
+func mintsTODO(ctx context.Context) error {
+	return b.WithCtx(context.TODO()) // want `context.TODO\(\) discards the ctx parameter`
+}
+
+func libraryRoot() error {
+	return b.WithCtx(context.Background()) // want `context.Background\(\) in library code`
+}
+
+func dropsSibling(ctx context.Context) {
+	b.Fetch() // want `call to Fetch drops ctx; use FetchContext`
+}
+
+func dropsMethodSibling(ctx context.Context, c *b.Client) {
+	c.Get() // want `call to Get drops ctx; use GetContext`
+}
+
+func blockingDirect(ctx context.Context) {
+	b.SlowHelper() // want `SlowHelper blocks \(transitively\) but cannot receive ctx`
+}
+
+func blockingIndirect(ctx context.Context) {
+	b.Indirect() // want `Indirect blocks \(transitively\) but cannot receive ctx`
+}
+
+func localChain(ctx context.Context) {
+	localBlocking() // want `localBlocking blocks \(transitively\) but cannot receive ctx`
+}
+
+func localBlocking() {
+	b.SlowHelper()
+}
+
+// Negatives.
+
+func passesCtx(ctx context.Context) error {
+	return b.WithCtx(ctx) // ctx flows on: fine
+}
+
+func usesSibling(ctx context.Context) error {
+	return b.FetchContext(ctx) // ctx-aware variant: fine
+}
+
+func noCtxInScope() {
+	b.SlowHelper() // no ctx to lose: fine
+}
+
+func nonBlockingCallee(ctx context.Context) {
+	harmless() // callee does not block: fine
+}
+
+func harmless() {}
+
+func closureSeesCtx(ctx context.Context) func() error {
+	return func() error {
+		return b.WithCtx(context.Background()) // want `context.Background\(\) discards the ctx parameter`
+	}
+}

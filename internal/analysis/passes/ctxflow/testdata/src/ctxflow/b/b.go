@@ -1,0 +1,43 @@
+// Package b provides the callees package a exercises ctxflow against:
+// a blocking helper chain, plain/Context sibling pairs, and a
+// ctx-accepting function.
+package b
+
+import (
+	"context"
+	"time"
+)
+
+// SlowHelper blocks directly.
+func SlowHelper() {
+	time.Sleep(time.Millisecond)
+}
+
+// Indirect blocks through SlowHelper.
+func Indirect() {
+	SlowHelper()
+}
+
+// WithCtx accepts the caller's ctx.
+func WithCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Fetch has a Context sibling; callers holding a ctx must use it.
+func Fetch() {}
+
+// FetchContext is the ctx-aware variant of Fetch.
+func FetchContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Client pairs a plain method with a Context variant.
+type Client struct{}
+
+// Get has a Context sibling.
+func (c *Client) Get() {}
+
+// GetContext is the ctx-aware variant of Get.
+func (c *Client) GetContext(ctx context.Context) error {
+	return ctx.Err()
+}

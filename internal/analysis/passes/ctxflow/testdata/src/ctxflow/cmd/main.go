@@ -1,0 +1,12 @@
+// Command cmd shows that package main may mint the root context.
+package main
+
+import (
+	"context"
+
+	"comtainer/internal/analysis/passes/ctxflow/testdata/src/ctxflow/b"
+)
+
+func main() {
+	_ = b.WithCtx(context.Background()) // main owns the root context: fine
+}

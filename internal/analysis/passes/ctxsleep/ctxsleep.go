@@ -10,6 +10,7 @@ package ctxsleep
 
 import (
 	"go/ast"
+	"go/token"
 
 	"comtainer/internal/analysis"
 )
@@ -42,6 +43,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 		default:
 			return true
 		}
+		guards := doneSelects(pass, loopBody)
 		// The loop body is inspected in full, including nested loops
 		// (they re-match above; a second report at the same position is
 		// harmless because ast.Inspect below only reports Sleep calls).
@@ -56,13 +58,76 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 			if !ok {
 				return true
 			}
-			if isTimeSleep(pass, call) {
+			if isTimeSleep(pass, call) && !guardedBefore(guards, call.Pos()) {
 				pass.Reportf(call.Pos(), "raw time.Sleep in a loop: back off with a time.Timer selected against ctx.Done() instead")
 			}
 			return true
 		})
 		return false
 	})
+}
+
+// doneSelects collects the positions of select statements in the loop
+// body that have a `<-ctx.Done()` case. A Sleep after such a select in
+// the same iteration is already cancellation-aware — the loop observes
+// ctx before each wait — so flagging it would be a false positive.
+func doneSelects(pass *analysis.Pass, loopBody *ast.BlockStmt) []token.Pos {
+	var guards []token.Pos
+	ast.Inspect(loopBody, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if commReceivesDone(pass, cc.Comm) {
+				guards = append(guards, sel.Pos())
+				break
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+// commReceivesDone reports whether a select comm clause receives from
+// a ctx.Done() channel.
+func commReceivesDone(pass *analysis.Pass, comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		recv = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			recv = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Done"
+}
+
+// guardedBefore reports whether any guard select precedes pos.
+func guardedBefore(guards []token.Pos, pos token.Pos) bool {
+	for _, g := range guards {
+		if g < pos {
+			return true
+		}
+	}
+	return false
 }
 
 // isTimeSleep reports whether call is time.Sleep.

@@ -52,6 +52,30 @@ func literalIsOwnScope(n int) func() {
 	return nil
 }
 
+func selectGuardedSleep(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		time.Sleep(time.Millisecond) // guarded by the select on ctx.Done() above: allowed
+	}
+	return nil
+}
+
+func selectGuardTooLate(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		time.Sleep(time.Millisecond) // want `raw time.Sleep in a loop`
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
 func allowed(n int) {
 	for i := 0; i < n; i++ {
 		//comtainer:allow ctxsleep -- test fixture pacing, no ctx in scope

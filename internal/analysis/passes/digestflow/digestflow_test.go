@@ -1,0 +1,14 @@
+package digestflow_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/digestflow"
+)
+
+func TestDigestflow(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{digestflow.Analyzer},
+		"testdata/src/digestflow", "./a", "./b")
+}

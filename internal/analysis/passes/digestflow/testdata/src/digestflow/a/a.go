@@ -1,0 +1,66 @@
+// Package a exercises the digestflow analyzer.
+package a
+
+import (
+	"comtainer/internal/digest"
+
+	"comtainer/internal/analysis/passes/digestflow/testdata/src/digestflow/b"
+)
+
+func rawCompare(s string, want digest.Digest) bool {
+	d := digest.Digest(s)
+	return d == want // want `digest comparison may involve a raw digest.Digest\(...\) conversion`
+}
+
+func crossPackage(s string, want digest.Digest) bool {
+	return b.Bad(s) == want // want `digest comparison may involve a raw digest.Digest\(...\) conversion`
+}
+
+func crossPackageChain(s string, want digest.Digest) bool {
+	d := b.Chain(s)
+	return d != want // want `digest comparison may involve a raw digest.Digest\(...\) conversion`
+}
+
+func rawVerify(s string, content []byte) bool {
+	d := digest.Digest(s)
+	return d.Verify(content) // want `Verify called on a digest that may come from a raw digest.Digest\(...\) conversion`
+}
+
+// localDirty is dirty via a local helper chain.
+func localDirty(s string) digest.Digest {
+	return localLaunder(s)
+}
+
+func localLaunder(s string) digest.Digest {
+	return digest.Digest(s)
+}
+
+func localChainCompare(s string, want digest.Digest) bool {
+	return localDirty(s) == want // want `digest comparison may involve a raw digest.Digest\(...\) conversion`
+}
+
+// Negatives.
+
+func sanctionedCompare(s string, want digest.Digest) bool {
+	return b.Good(s) == want // sanctioned constructor: fine
+}
+
+func parsedCompare(s string, want digest.Digest) bool {
+	d, err := b.Parsed(s)
+	if err != nil {
+		return false
+	}
+	return d == want // parsed: fine
+}
+
+func paramCompare(d1, d2 digest.Digest) bool {
+	return d1 == d2 // parameters are presumed sanctioned: fine
+}
+
+func zeroSentinel(d digest.Digest) bool {
+	return d == digest.Digest("") // the zero-digest sentinel: fine
+}
+
+func nonDigestCompare(a, b string) bool {
+	return a == b // not digests at all: fine
+}

@@ -1,0 +1,26 @@
+// Package b provides digest producers for package a: sanctioned
+// constructors and raw-conversion launderers whose dirtiness must
+// travel through the exported fact.
+package b
+
+import "comtainer/internal/digest"
+
+// Bad launders a raw string into a Digest without Parse.
+func Bad(s string) digest.Digest {
+	return digest.Digest(s)
+}
+
+// Chain is dirty through Bad.
+func Chain(s string) digest.Digest {
+	return Bad(s)
+}
+
+// Good builds a digest through a sanctioned constructor.
+func Good(s string) digest.Digest {
+	return digest.FromString(s)
+}
+
+// Parsed vets its input.
+func Parsed(s string) (digest.Digest, error) {
+	return digest.Parse(s)
+}

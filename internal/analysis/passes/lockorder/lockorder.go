@@ -1,0 +1,525 @@
+// Package lockorder builds the repository-wide lock-acquisition order
+// graph and reports any cycle in it as a potential deadlock.
+//
+// Per package, the analyzer summarizes every declared function: the
+// mutex classes it acquires (a class is the declaring package/type/
+// field of the sync.Mutex or RWMutex, e.g. distrib.DiskStore.mu — all
+// instances of a type share a class), the classes lexically held at
+// each acquisition, and its outgoing call sites with the classes held
+// there. The summaries, plus the package's visible interface→
+// implementation bindings (class-hierarchy analysis), are exported as
+// facts. The whole-program Finish step links call sites to callees —
+// static calls directly, interface calls to every known
+// implementation — computes each function's transitive acquisition
+// set, and adds an edge A→B whenever B is acquired (directly or via a
+// callee chain) while A is held. A cycle in that graph means two
+// executions can acquire the same locks in opposite orders.
+//
+// Known approximations, accepted for a linter backed by suppression
+// comments: function literals are not summarized (goroutine bodies
+// run without the spawner's locks anyway), calls through plain
+// function values are invisible, classes collapse all instances of a
+// type (two distinct stores of the same type look like one lock), and
+// RLock is ordered like Lock (conservative for writer interleavings).
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"comtainer/internal/analysis"
+)
+
+// Analyzer reports cycles in the global lock-acquisition order graph.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "no cycles in the repository-wide lock acquisition order; a cycle " +
+		"means two call paths can take the same mutexes in opposite orders and deadlock",
+	Version:  1,
+	FactType: (*Fact)(nil),
+	Run:      run,
+	Finish:   finish,
+}
+
+// Fact is the per-package summary lockorder exports.
+type Fact struct {
+	// Funcs maps analysis.FuncID → lock summary for every function
+	// declared in the package that acquires or calls.
+	Funcs map[string]*FuncLocks `json:"funcs,omitempty"`
+	// Impls maps interface-method FuncIDs to the in-module methods
+	// implementing them, as visible from this package.
+	Impls map[string][]string `json:"impls,omitempty"`
+}
+
+// AFact marks Fact as a serializable analysis fact.
+func (*Fact) AFact() {}
+
+// FuncLocks summarizes one function.
+type FuncLocks struct {
+	Acquires []Acquire  `json:"acquires,omitempty"`
+	Calls    []CallSite `json:"calls,omitempty"`
+}
+
+// Acquire is one mutex acquisition with the classes lexically held at
+// that point.
+type Acquire struct {
+	Class string         `json:"class"`
+	Held  []string       `json:"held,omitempty"`
+	Pos   token.Position `json:"pos"`
+}
+
+// CallSite is one outgoing call with the classes held at the call.
+type CallSite struct {
+	Callee string         `json:"callee"`
+	Iface  bool           `json:"iface,omitempty"`
+	Held   []string       `json:"held,omitempty"`
+	Pos    token.Position `json:"pos"`
+}
+
+func run(pass *analysis.Pass) error {
+	fact := &Fact{Funcs: make(map[string]*FuncLocks)}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			id := analysis.FuncID(fn)
+			if id == "" {
+				continue
+			}
+			if fl := summarize(pass, fd.Body); fl != nil {
+				fact.Funcs[id] = fl
+			}
+		}
+	}
+	fact.Impls = moduleImpls(pass.Pkg)
+	if len(fact.Funcs) > 0 || len(fact.Impls) > 0 {
+		pass.ExportPackageFact(fact)
+	}
+	return nil
+}
+
+// moduleImpls keeps only CHA bindings whose implementation lives in
+// the current module (same leading path segment as the package):
+// foreign code cannot acquire this repository's lock classes.
+func moduleImpls(pkg *types.Package) map[string][]string {
+	seg := firstSegment(pkg.Path())
+	out := make(map[string][]string)
+	for iface, impls := range analysis.Implementations(pkg) {
+		for _, impl := range impls {
+			if firstSegment(impl) == seg {
+				out[iface] = append(out[iface], impl)
+			}
+		}
+	}
+	for _, impls := range out {
+		sort.Strings(impls)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// event is one lock-relevant occurrence inside a function body, in
+// source order.
+type event struct {
+	pos   token.Pos
+	kind  string // "lock", "unlock", "defer-unlock", "call"
+	key   string // receiver expression + flavor, for pairing
+	class string // resolved lock class ("" = local/unresolvable)
+
+	callee string // for "call"
+	iface  bool
+}
+
+// summarize scans one function body (shallow: nested function
+// literals are independent and skipped) and produces its summary, or
+// nil when the function neither locks nor calls anything relevant.
+func summarize(pass *analysis.Pass, body *ast.BlockStmt) *FuncLocks {
+	seg := firstSegment(pass.Pkg.Path())
+	var events []event
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if key, class, kind, ok := lockCall(pass.TypesInfo, v.Call); ok && (kind == "Unlock" || kind == "RUnlock") {
+				events = append(events, event{pos: v.Pos(), kind: "defer-unlock", key: key, class: class})
+			}
+			return true
+		case *ast.CallExpr:
+			if key, class, kind, ok := lockCall(pass.TypesInfo, v); ok {
+				switch kind {
+				case "Lock", "RLock":
+					events = append(events, event{pos: v.Pos(), kind: "lock", key: key, class: class})
+				case "Unlock", "RUnlock":
+					events = append(events, event{pos: v.Pos(), kind: "unlock", key: key, class: class})
+				}
+				return true
+			}
+			if id, iface, ok := analysis.CallTarget(pass.TypesInfo, v); ok {
+				// Only in-module callees can acquire in-module lock
+				// classes; foreign calls are omitted to keep facts
+				// small. (Interface methods are kept regardless: the
+				// implementation may be local even when the interface
+				// is foreign.)
+				if iface || firstSegment(id) == seg {
+					events = append(events, event{pos: v.Pos(), kind: "call", callee: id, iface: iface})
+				}
+			}
+		}
+		return true
+	})
+
+	heldAt := heldSets(events, body.End())
+	out := &FuncLocks{}
+	for i, e := range events {
+		switch e.kind {
+		case "lock":
+			if e.class == "" {
+				continue
+			}
+			out.Acquires = append(out.Acquires, Acquire{
+				Class: e.class,
+				Held:  heldAt[i],
+				Pos:   pass.Fset.Position(e.pos),
+			})
+		case "call":
+			out.Calls = append(out.Calls, CallSite{
+				Callee: e.callee,
+				Iface:  e.iface,
+				Held:   heldAt[i],
+				Pos:    pass.Fset.Position(e.pos),
+			})
+		}
+	}
+	if len(out.Acquires) == 0 && len(out.Calls) == 0 {
+		return nil
+	}
+	return out
+}
+
+// heldSets computes, for each event index, the sorted set of lock
+// classes lexically held at that event: a lock is held from its
+// acquisition to the first later explicit unlock of the same receiver
+// expression, or to the end of the function when a deferred unlock
+// intervenes first.
+func heldSets(events []event, funcEnd token.Pos) [][]string {
+	type section struct {
+		class      string
+		start, end token.Pos
+	}
+	var sections []section
+	for _, l := range events {
+		if l.kind != "lock" || l.class == "" {
+			continue
+		}
+		end := funcEnd
+		var explicit token.Pos
+		for _, e := range events {
+			if e.kind == "unlock" && e.key == l.key && e.pos > l.pos {
+				explicit = e.pos
+				break
+			}
+		}
+		deferred := false
+		for _, e := range events {
+			if e.kind == "defer-unlock" && e.key == l.key && e.pos > l.pos &&
+				(explicit == token.NoPos || e.pos < explicit) {
+				deferred = true
+				break
+			}
+		}
+		if !deferred && explicit != token.NoPos {
+			end = explicit
+		}
+		sections = append(sections, section{class: l.class, start: l.pos, end: end})
+	}
+
+	out := make([][]string, len(events))
+	for i, e := range events {
+		seen := map[string]bool{}
+		for _, s := range sections {
+			if s.start < e.pos && e.pos < s.end && !seen[s.class] {
+				seen[s.class] = true
+				out[i] = append(out[i], s.class)
+			}
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}
+
+// lockCall reports whether call is a sync.Mutex/RWMutex (un)lock,
+// returning the pairing key (receiver expression + flavor), the
+// resolved lock class, and the method name.
+func lockCall(info *types.Info, call *ast.CallExpr) (key, class, kind string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", "", false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock":
+		return types.ExprString(sel.X) + "/w", analysis.LockClass(info, sel.X), fn.Name(), true
+	case "RLock", "RUnlock":
+		return types.ExprString(sel.X) + "/r", analysis.LockClass(info, sel.X), fn.Name(), true
+	}
+	return "", "", "", false
+}
+
+// --- whole-program step ---
+
+// edge is one ordered pair in the acquisition graph with its first
+// (position-wise) witness.
+type edge struct {
+	from, to string
+	pos      token.Position
+}
+
+func finish(fp *analysis.FinishPass) error {
+	funcs := make(map[string]*FuncLocks)
+	impls := make(map[string][]string)
+	for _, f := range fp.Facts {
+		fact, ok := f.(*Fact)
+		if !ok {
+			continue
+		}
+		for id, fl := range fact.Funcs {
+			funcs[id] = fl
+		}
+		analysis.MergeImplementations(impls, fact.Impls)
+	}
+
+	trans := transitiveAcquires(funcs, impls)
+
+	edges := make(map[[2]string]token.Position)
+	addEdge := func(from, to string, pos token.Position) {
+		if from == to {
+			// Self-edges are dropped: the class abstraction cannot
+			// tell two instances of one type apart, so re-acquisition
+			// across instances would drown real cycles in noise.
+			return
+		}
+		k := [2]string{from, to}
+		if old, ok := edges[k]; !ok || before(pos, old) {
+			edges[k] = pos
+		}
+	}
+	for _, fl := range funcs {
+		for _, a := range fl.Acquires {
+			for _, h := range a.Held {
+				addEdge(h, a.Class, a.Pos)
+			}
+		}
+		for _, c := range fl.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			for _, callee := range resolve(c, impls) {
+				for cls := range trans[callee] {
+					for _, h := range c.Held {
+						addEdge(h, cls, c.Pos)
+					}
+				}
+			}
+		}
+	}
+
+	reportCycles(fp, edges)
+	return nil
+}
+
+// resolve expands a call site to its possible callees.
+func resolve(c CallSite, impls map[string][]string) []string {
+	if !c.Iface {
+		return []string{c.Callee}
+	}
+	return impls[c.Callee]
+}
+
+// transitiveAcquires computes, per function, every lock class it can
+// acquire directly or through its callees (fixpoint over the call
+// graph, interface calls fanned out to all implementations).
+func transitiveAcquires(funcs map[string]*FuncLocks, impls map[string][]string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(funcs))
+	for id, fl := range funcs {
+		set := make(map[string]bool)
+		for _, a := range fl.Acquires {
+			set[a.Class] = true
+		}
+		out[id] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, fl := range funcs {
+			set := out[id]
+			for _, c := range fl.Calls {
+				for _, callee := range resolve(c, impls) {
+					for cls := range out[callee] {
+						if !set[cls] {
+							set[cls] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// reportCycles finds strongly connected components of the edge graph
+// and reports one canonical cycle per component: starting from the
+// lexicographically smallest class, the shortest path back to itself.
+func reportCycles(fp *analysis.FinishPass, edges map[[2]string]token.Position) {
+	adj := make(map[string][]string)
+	nodes := map[string]bool{}
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	for _, outs := range adj {
+		sort.Strings(outs)
+	}
+
+	for _, scc := range tarjan(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		sort.Strings(scc)
+		start := scc[0]
+		cycle := shortestCycle(start, adj, inSCC)
+		if cycle == nil {
+			continue
+		}
+		pos := edges[[2]string{cycle[0], cycle[1]}]
+		fp.Report(analysis.Diagnostic{
+			Pos:      pos,
+			Analyzer: fp.Analyzer.Name,
+			Message: fmt.Sprintf("potential deadlock: lock order cycle: %s",
+				strings.Join(cycle, " -> ")),
+		})
+	}
+}
+
+// shortestCycle BFSes from start back to start inside one SCC and
+// returns the node sequence start…start, or nil if none is found.
+func shortestCycle(start string, adj map[string][]string, in map[string]bool) []string {
+	parent := map[string]string{}
+	queue := []string{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if !in[m] {
+				continue
+			}
+			if m == start {
+				cycle := []string{start}
+				for at := n; at != start; at = parent[at] {
+					cycle = append(cycle, at)
+				}
+				if len(cycle) == 1 {
+					return nil // only a self-loop; filtered earlier
+				}
+				cycle = append(cycle, start)
+				// Reverse the middle back into walk order.
+				for i, j := 1, len(cycle)-2; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return cycle
+			}
+			if _, seen := parent[m]; !seen && m != start {
+				parent[m] = n
+				queue = append(queue, m)
+			}
+		}
+	}
+	return nil
+}
+
+// tarjan returns the strongly connected components of the graph in a
+// deterministic order (nodes visited sorted).
+func tarjan(nodes map[string]bool, adj map[string][]string) [][]string {
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strong func(n string)
+	strong = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if _, seen := index[m]; !seen {
+				strong(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	return sccs
+}
+
+// before orders positions for deterministic witness selection.
+func before(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}

@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{lockorder.Analyzer},
+		"testdata/src/lockorder", "./a", "./b")
+}

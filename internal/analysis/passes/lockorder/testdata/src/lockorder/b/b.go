@@ -1,0 +1,14 @@
+// Package b owns MuB; LockB is the cross-package acquisition helper
+// that package a calls while holding its own mutex.
+package b
+
+import "sync"
+
+// MuB is a package-level lock class.
+var MuB sync.Mutex
+
+// LockB acquires and releases MuB.
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}

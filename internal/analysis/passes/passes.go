@@ -4,11 +4,14 @@ package passes
 import (
 	"comtainer/internal/analysis"
 	"comtainer/internal/analysis/passes/atomicwrite"
+	"comtainer/internal/analysis/passes/ctxflow"
 	"comtainer/internal/analysis/passes/ctxsleep"
 	"comtainer/internal/analysis/passes/digestcmp"
+	"comtainer/internal/analysis/passes/digestflow"
 	"comtainer/internal/analysis/passes/errpropagate"
 	"comtainer/internal/analysis/passes/gonaked"
 	"comtainer/internal/analysis/passes/lockio"
+	"comtainer/internal/analysis/passes/lockorder"
 	"comtainer/internal/analysis/passes/safejoin"
 )
 
@@ -17,11 +20,14 @@ import (
 func All() analysis.Suite {
 	return analysis.Suite{
 		digestcmp.Analyzer,
+		digestflow.Analyzer,
 		atomicwrite.Analyzer,
 		lockio.Analyzer,
+		lockorder.Analyzer,
 		safejoin.Analyzer,
 		errpropagate.Analyzer,
 		gonaked.Analyzer,
 		ctxsleep.Analyzer,
+		ctxflow.Analyzer,
 	}
 }

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Finding is the machine-readable form of one diagnostic, the unit of
+// comtainer-vet's -json output. Suppressed findings are included so CI
+// annotation tooling can audit the allow inventory, flagged as such.
+type Finding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Pass       string `json:"pass"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// FindingsOf converts diagnostics to their JSON form.
+func FindingsOf(diags []Diagnostic) []Finding {
+	out := make([]Finding, len(diags))
+	for i, d := range diags {
+		out[i] = Finding{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Pass:       d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+	}
+	return out
+}
+
+// EncodeFindings renders findings as indented JSON (an array, never
+// null, so consumers can range without a nil check).
+func EncodeFindings(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("analysis: encoding findings: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeFindings parses EncodeFindings output.
+func DecodeFindings(b []byte) ([]Finding, error) {
+	var out []Finding
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("analysis: decoding findings: %w", err)
+	}
+	return out, nil
+}

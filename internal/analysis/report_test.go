@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestFindingsRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "a/a.go", Line: 12, Column: 3},
+			Analyzer: "lockorder",
+			Message:  "potential deadlock: lock order cycle: a.MuA -> b.MuB -> a.MuA",
+		},
+		{
+			Pos:        token.Position{Filename: "b/b.go", Line: 4, Column: 1},
+			Analyzer:   "ctxsleep",
+			Message:    "raw time.Sleep in a loop",
+			Suppressed: true,
+		},
+	}
+	in := FindingsOf(diags)
+	if !in[1].Suppressed {
+		t.Fatal("Suppressed flag lost in FindingsOf")
+	}
+
+	b, err := EncodeFindings(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeFindings(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestEncodeFindingsEmptyIsArray(t *testing.T) {
+	b, err := EncodeFindings(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(b); got != "[]\n" {
+		t.Fatalf("nil findings encoded as %q, want %q", got, "[]\n")
+	}
+	out, err := DecodeFindings(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d findings from empty array", len(out))
+	}
+}

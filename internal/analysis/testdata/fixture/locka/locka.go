@@ -1,0 +1,29 @@
+// Package locka seeds a two-mutex, two-package lock-order cycle for
+// the end-to-end vet test: CrossAB holds MuA while lockb.LockB takes
+// MuB; CrossBA holds MuB while taking MuA. lockorder must stitch the
+// two orders together through its exported facts and report the cycle.
+package locka
+
+import (
+	"sync"
+
+	"fixture/lockb"
+)
+
+// MuA is the first mutex of the seeded lock-order cycle.
+var MuA sync.Mutex
+
+// CrossAB acquires MuA, then (through lockb.LockB) MuB.
+func CrossAB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	lockb.LockB()
+}
+
+// CrossBA acquires MuB, then MuA — the opposite order.
+func CrossBA() {
+	lockb.MuB.Lock()
+	defer lockb.MuB.Unlock()
+	MuA.Lock()
+	MuA.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package lockb owns one half of the fixture's seeded deadlock: MuB,
+// acquired by LockB while package locka callers may hold MuA.
+package lockb
+
+import "sync"
+
+// MuB is the second mutex of the seeded lock-order cycle.
+var MuB sync.Mutex
+
+// LockB acquires and releases MuB.
+func LockB() {
+	MuB.Lock()
+	defer MuB.Unlock()
+}

@@ -11,9 +11,10 @@ import (
 
 // TestVetEndToEnd builds and runs the comtainer-vet multichecker, as a
 // user would, over the fixture module in testdata/fixture. The fixture
-// violates digestcmp, atomicwrite, and gonaked once each and carries
-// one suppressed site, so the binary must exit 1 with exactly those
-// three diagnostics.
+// violates digestcmp, atomicwrite, and gonaked once each, seeds a
+// two-package lock-order cycle (locka/lockb), and carries one
+// suppressed site, so the binary must exit 1 with exactly those four
+// diagnostics.
 func TestVetEndToEnd(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go command not available")
@@ -43,13 +44,20 @@ func TestVetEndToEnd(t *testing.T) {
 			lines++
 		}
 	}
-	if lines != 3 {
-		t.Errorf("want exactly 3 diagnostics, got %d:\n%s", lines, text)
+	if lines != 4 {
+		t.Errorf("want exactly 4 diagnostics, got %d:\n%s", lines, text)
 	}
-	for _, name := range []string{"[digestcmp]", "[atomicwrite]", "[gonaked]"} {
+	for _, name := range []string{"[digestcmp]", "[atomicwrite]", "[gonaked]", "[lockorder]"} {
 		if !strings.Contains(text, name) {
 			t.Errorf("missing %s diagnostic in output:\n%s", name, text)
 		}
+	}
+	// The seeded locka/lockb cycle must be reported with the exact
+	// canonical chain, anchored at the cross-package call in CrossAB.
+	wantCycle := "potential deadlock: lock order cycle: " +
+		"fixture/locka.MuA -> fixture/lockb.MuB -> fixture/locka.MuA"
+	if !strings.Contains(text, wantCycle) {
+		t.Errorf("missing the seeded lock-order cycle %q in output:\n%s", wantCycle, text)
 	}
 	// The suppressed Allowed site must not appear.
 	if strings.Count(text, "[digestcmp]") != 1 {

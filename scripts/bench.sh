@@ -23,9 +23,26 @@ mkdir -p "$OUT_DIR"
 echo "== go test -bench ($BENCH) =="
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime 1x . | tee "$RAW"
 
+echo "== comtainer-vet cold vs warm =="
+# Wall-clock the analyzer suite with an empty incremental cache, then
+# again fully warm, so the JSON summary tracks the replay speedup
+# alongside the paper benchmarks.
+VET_BIN="$OUT_DIR/comtainer-vet-bench"
+VET_CACHE=$(mktemp -d)
+go build -o "$VET_BIN" ./cmd/comtainer-vet
+t0=$(date +%s.%N)
+"$VET_BIN" -cache -cache-dir "$VET_CACHE" ./... >/dev/null
+t1=$(date +%s.%N)
+"$VET_BIN" -cache -cache-dir "$VET_CACHE" ./... >/dev/null
+t2=$(date +%s.%N)
+rm -rf "$VET_CACHE" "$VET_BIN"
+VET_COLD=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
+VET_WARM=$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.3f", b - a }')
+echo "vet cold: ${VET_COLD}s  warm: ${VET_WARM}s"
+
 # Parse `BenchmarkName  N  value unit  value unit ...` lines into JSON:
 # one object per benchmark with every reported metric keyed by its unit.
-awk -v stamp="$STAMP" '
+awk -v stamp="$STAMP" -v vet_cold="$VET_COLD" -v vet_warm="$VET_WARM" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -37,7 +54,9 @@ BEGIN { n = 0 }
     lines[n++] = entry
 }
 END {
-    printf "{\n  \"timestamp\": \"%s\",\n  \"benchmarks\": [\n", stamp
+    printf "{\n  \"timestamp\": \"%s\",\n", stamp
+    printf "  \"vet\": {\"cold_seconds\": %s, \"warm_seconds\": %s},\n", vet_cold, vet_warm
+    printf "  \"benchmarks\": [\n"
     for (i = 0; i < n; i++)
         printf "%s%s\n", lines[i], (i + 1 < n ? "," : "")
     print "  ]\n}"

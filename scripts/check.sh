@@ -16,15 +16,36 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== comtainer-vet =="
-# The repository's own analyzer suite (digestcmp, atomicwrite, lockio,
-# safejoin, errpropagate, gonaked, ctxsleep). Diagnostics are printed as
+echo "== comtainer-vet (incremental) =="
+# The repository's own analyzer suite (digestcmp, digestflow,
+# atomicwrite, lockio, lockorder, safejoin, errpropagate, gonaked,
+# ctxsleep, ctxflow). Diagnostics are printed as
 # path:line:col: [analyzer] message — the [analyzer] tag names the
 # invariant that failed; see DESIGN.md "Static analysis".
-if ! go run ./cmd/comtainer-vet ./...; then
+#
+# -cache replays unchanged packages from COMTAINER_VET_CACHE (CI
+# persists the directory across runs via actions/cache). The first run
+# populates; the second run must replay at least 90% of packages or
+# the incremental keying has regressed.
+COMTAINER_VET_CACHE="${COMTAINER_VET_CACHE:-.vetcache}"
+export COMTAINER_VET_CACHE
+if ! go run ./cmd/comtainer-vet -cache ./...; then
     echo "comtainer-vet FAILED: an invariant above was violated." >&2
     echo "Fix the finding or, for a deliberate exception, add" >&2
     echo "  //comtainer:allow <analyzer> -- <reason>" >&2
+    exit 1
+fi
+stats=$(go run ./cmd/comtainer-vet -cache ./... 2>&1 >/dev/null)
+echo "$stats"
+ratio=$(echo "$stats" | sed -n 's|^comtainer-vet: \([0-9][0-9]*\)/\([0-9][0-9]*\) packages cached$|\1 \2|p')
+if [ -z "$ratio" ]; then
+    echo "comtainer-vet printed no cache statistics line" >&2
+    exit 1
+fi
+cached=${ratio% *}
+total=${ratio#* }
+if [ "$((10 * cached))" -lt "$((9 * total))" ]; then
+    echo "comtainer-vet cache regressed: only $cached/$total packages replayed on a warm run (want >=90%)" >&2
     exit 1
 fi
 
