@@ -29,6 +29,7 @@ import (
 	"comtainer/internal/oci"
 	"comtainer/internal/perfmodel"
 	"comtainer/internal/registry"
+	"comtainer/internal/remoteexec"
 	"comtainer/internal/sysprofile"
 	"comtainer/internal/tarfs"
 	"comtainer/internal/toolchain"
@@ -698,6 +699,101 @@ func BenchmarkParallelPull(b *testing.B) {
 	b.ReportMetric(float64(len(names)), "images")
 	if speedup < 2 {
 		b.Errorf("parallel pull speedup %.2fx, want >= 2x", speedup)
+	}
+}
+
+// BenchmarkRemoteExecScaling measures the build farm's workers-vs-wall-
+// clock curve: the hpl rebuild (six independent compiles plus a link) is
+// executed entirely remotely against farms of 1, 2, 4 and 8 single-slot
+// workers whose per-action delay simulates real compile cost. Each farm
+// is fresh — new scheduler, registry and workers, no shared action
+// cache — so every point measures uncached remote execution. The 1->4
+// speedup must be measurable (> 1.2x).
+func BenchmarkRemoteExecScaling(b *testing.B) {
+	sys := sysprofile.X86Cluster()
+	user, err := core.NewUserSide(sys.ISA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := workloads.Find("hpl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := user.BuildExtended(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const execDelay = 40 * time.Millisecond
+	run := func(workers int) time.Duration {
+		sched := remoteexec.NewScheduler()
+		reg := registry.NewServer()
+		mux := http.NewServeMux()
+		mux.Handle(remoteexec.APIPrefix+"/", sched.Handler())
+		mux.Handle("/", reg.Handler())
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		defer func() {
+			cancel()
+			wg.Wait()
+		}()
+		for i := 0; i < workers; i++ {
+			w := remoteexec.NewWorker(ts.URL, sys, sys.Toolchains)
+			w.Slots = 1
+			w.ExecDelay = execDelay
+			w.Name = fmt.Sprintf("bench-%d", i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = w.Run(ctx)
+			}()
+		}
+		for len(sched.Status().Workers) < workers {
+			time.Sleep(time.Millisecond)
+		}
+
+		system, err := core.NewSystemSide(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		system.RebuildWorkers = 8
+		farm := remoteexec.NewExecutor(ts.URL, sys, sys.Toolchains)
+		system.RemoteExec = farm
+		if err := system.Pull(user.Repo, res.ExtendedTag); err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, _, err := system.Rebuild(res.DistTag, adapter.DefaultAdapted(), nil); err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+		st := farm.Stats()
+		if st.Remote == 0 {
+			b.Fatalf("%d workers: no action executed remotely (%s)", workers, st)
+		}
+		if st.Errors > 0 {
+			b.Fatalf("%d workers: %d farm errors (%s)", workers, st.Errors, st)
+		}
+		return elapsed
+	}
+
+	counts := []int{1, 2, 4, 8}
+	wall := map[int]time.Duration{}
+	for i := 0; i < b.N; i++ {
+		for _, n := range counts {
+			wall[n] = run(n)
+		}
+	}
+	for _, n := range counts {
+		b.ReportMetric(float64(wall[n])/1e6, fmt.Sprintf("w%d-ms", n))
+	}
+	speedup := float64(wall[1]) / float64(wall[4])
+	b.ReportMetric(speedup, "speedup-1to4-x")
+	if speedup < 1.2 {
+		b.Errorf("1->4 worker speedup %.2fx, want > 1.2x", speedup)
 	}
 }
 

@@ -1,0 +1,160 @@
+// Subcommands backing scripts/bench.sh: `time` is a portable wall-clock
+// helper and `diff` is the snapshot regression gate.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// regressionLimit is how much worse a gated metric may get before diff
+// fails: >10% and the snapshot comparison exits non-zero.
+const regressionLimit = 0.10
+
+// timeMain runs the given command with stdout discarded (so only the
+// elapsed time lands on our stdout) and stderr passed through, then
+// prints the wall-clock duration as fractional seconds.
+func timeMain(args []string) int {
+	if len(args) > 0 && args[0] == "--" {
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: comtainer-bench time <cmd> [args...]")
+		return 2
+	}
+	cmd := exec.Command(args[0], args[1:]...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	start := time.Now()
+	err := cmd.Run()
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "comtainer-bench: time: %s: %v\n", args[0], err)
+		return 1
+	}
+	fmt.Printf("%.3f\n", elapsed)
+	return 0
+}
+
+// snapshot mirrors the JSON written by scripts/bench.sh.
+type snapshot struct {
+	Timestamp string `json:"timestamp"`
+	Vet       struct {
+		ColdSeconds float64 `json:"cold_seconds"`
+		WarmSeconds float64 `json:"warm_seconds"`
+	} `json:"vet"`
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+// metric returns the named metric of the named benchmark, if present.
+// Benchmark entries key every reported value by its unit string, which
+// may contain characters ("%", "-") that rule out a fixed struct.
+func (s *snapshot) metric(bench, unit string) (float64, bool) {
+	for _, b := range s.Benchmarks {
+		if name, _ := b["name"].(string); name != bench {
+			continue
+		}
+		if v, ok := b[unit].(float64); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// vetRatio is the warm/cold wall-clock ratio of the analyzer suite: the
+// fraction of a cold run that a fully cached run still costs. Lower is
+// better; a rising ratio means cache replay is losing ground.
+func (s *snapshot) vetRatio() (float64, bool) {
+	if s.Vet.ColdSeconds <= 0 {
+		return 0, false
+	}
+	return s.Vet.WarmSeconds / s.Vet.ColdSeconds, true
+}
+
+func loadSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// diffMain compares two snapshots and fails on >regressionLimit
+// regression of any gated metric. Metrics missing from either side are
+// reported and skipped, so older snapshots that predate a benchmark
+// never hard-fail the gate.
+func diffMain(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: comtainer-bench diff <old.json> <new.json>")
+		return 2
+	}
+	oldS, err := loadSnapshot(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comtainer-bench: diff:", err)
+		return 1
+	}
+	newS, err := loadSnapshot(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comtainer-bench: diff:", err)
+		return 1
+	}
+	fmt.Printf("comparing %s (old) vs %s (new)\n", oldS.Timestamp, newS.Timestamp)
+
+	gates := []struct {
+		label        string
+		bench, unit  string // empty bench = vet replay ratio
+		higherBetter bool
+	}{
+		{"warm rebuild ms", "BenchmarkRebuildColdVsWarm", "warm-ms", false},
+		{"pull speedup x", "BenchmarkParallelPull", "speedup-x", true},
+		{"vet replay ratio", "", "", false},
+	}
+	failed := false
+	for _, g := range gates {
+		var oldV, newV float64
+		var oldOK, newOK bool
+		if g.bench == "" {
+			oldV, oldOK = oldS.vetRatio()
+			newV, newOK = newS.vetRatio()
+		} else {
+			oldV, oldOK = oldS.metric(g.bench, g.unit)
+			newV, newOK = newS.metric(g.bench, g.unit)
+		}
+		if !oldOK || !newOK {
+			fmt.Printf("  %-18s skipped (metric missing from %s snapshot)\n",
+				g.label, map[bool]string{true: "new", false: "old"}[oldOK])
+			continue
+		}
+		// Regression is measured as the relative move in the "worse"
+		// direction; improvements come out negative and always pass.
+		var change float64
+		if oldV != 0 {
+			if g.higherBetter {
+				change = (oldV - newV) / oldV
+			} else {
+				change = (newV - oldV) / oldV
+			}
+		}
+		verdict := "ok"
+		if change > regressionLimit {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("  %-18s %10.3f -> %10.3f  (%+.1f%% worse)  %s\n",
+			g.label, oldV, newV, change*100, verdict)
+	}
+	if failed {
+		fmt.Printf("FAIL: a gated metric regressed more than %.0f%%\n", regressionLimit*100)
+		return 1
+	}
+	fmt.Println("ok: no gated metric regressed")
+	return 0
+}

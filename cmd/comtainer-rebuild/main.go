@@ -20,6 +20,7 @@ import (
 	"comtainer/internal/core/backend"
 	"comtainer/internal/core/cache"
 	"comtainer/internal/oci"
+	"comtainer/internal/remoteexec"
 	"comtainer/internal/sysprofile"
 )
 
@@ -31,12 +32,13 @@ func main() {
 	cacheRemote := flag.String("action-cache-remote", "", "registry URL of the shared remote action-cache tier, e.g. http://127.0.0.1:5000")
 	cacheCap := flag.Int64("action-cache-cap", 0, "byte cap of the local action-cache tier (0 = unbounded)")
 	workers := flag.Int("j", 0, "max concurrent build commands (0 = min(GOMAXPROCS, 8))")
+	remoteExec := flag.String("remote-exec", "", "scheduler URL of a remote-execution farm (a comtainer-registry with -exec); cache misses execute there, with local fallback")
 	flag.Parse()
 	if *layout == "" {
-		fmt.Fprintln(os.Stderr, "usage: comtainer-rebuild -layout <dir.oci> -system <name> [-adapters ...] [-action-cache <dir>] [-action-cache-remote <url>] [-j N]")
+		fmt.Fprintln(os.Stderr, "usage: comtainer-rebuild -layout <dir.oci> -system <name> [-adapters ...] [-action-cache <dir>] [-action-cache-remote <url>] [-remote-exec <url>] [-j N]")
 		os.Exit(2)
 	}
-	if err := run(*layout, *sysName, *adapterList, *cacheDir, *cacheRemote, *cacheCap, *workers); err != nil {
+	if err := run(*layout, *sysName, *adapterList, *cacheDir, *cacheRemote, *remoteExec, *cacheCap, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "comtainer-rebuild:", err)
 		os.Exit(1)
 	}
@@ -101,7 +103,7 @@ func findDistTag(repo *oci.Repository) (string, error) {
 	return "", fmt.Errorf("layout holds no extended image (+coM tag); run comtainer-build first")
 }
 
-func run(layoutDir, sysName, adapterSpec, cacheDir, cacheRemote string, cacheCap int64, workers int) error {
+func run(layoutDir, sysName, adapterSpec, cacheDir, cacheRemote, remoteExec string, cacheCap int64, workers int) error {
 	repo, err := oci.LoadLayout(layoutDir)
 	if err != nil {
 		return err
@@ -126,11 +128,18 @@ func run(layoutDir, sysName, adapterSpec, cacheDir, cacheRemote string, cacheCap
 	if err != nil {
 		return err
 	}
+	var farm *remoteexec.Executor
+	if remoteExec != "" {
+		// The rebuild executes under the system's Sysenv registry (the
+		// backend default), so the farm platform carries its fingerprint.
+		farm = remoteexec.NewExecutor(remoteExec, sys, sys.Toolchains)
+	}
 	desc, report, err := backend.Rebuild(repo, distTag, backend.RebuildOptions{
-		System:   sys,
-		Adapters: adapters,
-		Memo:     memo,
-		Workers:  workers,
+		System:     sys,
+		Adapters:   adapters,
+		Memo:       memo,
+		Workers:    workers,
+		RemoteExec: farm,
 	})
 	if err != nil {
 		return err
@@ -142,6 +151,9 @@ func run(layoutDir, sysName, adapterSpec, cacheDir, cacheRemote string, cacheCap
 	fmt.Printf("adapted %d build commands\n", report.ChangedCommands)
 	if memo != nil {
 		fmt.Printf("action cache: %s\n", memo.Stats())
+	}
+	if farm != nil {
+		fmt.Printf("remote exec: %s\n", farm.Stats())
 	}
 	for _, n := range report.Notes {
 		fmt.Println(" ", n)

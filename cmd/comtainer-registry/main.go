@@ -22,6 +22,11 @@
 //
 // -upload-ttl expires upload sessions idle longer than the given
 // duration, reclaiming their spool files (0 disables expiry).
+//
+// -exec additionally mounts the remote-execution farm scheduler under
+// /farm/v1 on the same listener, turning the registry into the farm's
+// combined control plane and blob plane: comtainer-worker nodes
+// register here and comtainer-rebuild -remote-exec submits here.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"comtainer/internal/registry"
+	"comtainer/internal/remoteexec"
 )
 
 func main() {
@@ -40,6 +46,7 @@ func main() {
 	gc := flag.Bool("gc", false, "garbage-collect unreachable blobs on startup")
 	fsck := flag.Bool("fsck", false, "verify and repair the blob store on startup (requires -data)")
 	uploadTTL := flag.Duration("upload-ttl", time.Hour, "expire upload sessions idle longer than this (0 = never)")
+	execFarm := flag.Bool("exec", false, "also serve the remote-execution farm scheduler under /farm/v1")
 	flag.Parse()
 
 	var srv *registry.Server
@@ -72,6 +79,14 @@ func main() {
 		}
 		fmt.Printf("gc: dropped %d unreachable blobs\n", dropped)
 	}
+	handler := srv.Handler()
+	if *execFarm {
+		mux := http.NewServeMux()
+		mux.Handle(remoteexec.APIPrefix+"/", remoteexec.NewScheduler().Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Printf("comtainer-registry serving the farm scheduler under %s\n", remoteexec.APIPrefix)
+	}
 	fmt.Printf("comtainer-registry listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

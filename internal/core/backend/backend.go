@@ -19,6 +19,7 @@ import (
 	"comtainer/internal/dpkg"
 	"comtainer/internal/fsim"
 	"comtainer/internal/oci"
+	"comtainer/internal/remoteexec"
 	"comtainer/internal/sysprofile"
 	"comtainer/internal/toolchain"
 )
@@ -72,6 +73,10 @@ type RebuildOptions struct {
 	// Workers bounds concurrent command execution; 0 keeps the default
 	// of min(GOMAXPROCS, 8).
 	Workers int
+	// RemoteExec, when set, routes cache-missed build commands to a
+	// remote-execution farm, falling back to local execution on any
+	// farm failure.
+	RemoteExec *remoteexec.Executor
 }
 
 // Rebuild performs coMtainer-rebuild on the extended image derived from
@@ -144,7 +149,7 @@ func Rebuild(repo *oci.Repository, distTag string, opts RebuildOptions) (oci.Des
 		rebuildFS.WriteFile(p, data, 0o644)
 	}
 
-	if err := executeGraph(ctx.Models.Graph, rebuildFS, opts.Registry, execOptions{workers: opts.Workers, memo: opts.Memo}); err != nil {
+	if err := executeGraph(ctx.Models.Graph, rebuildFS, opts.Registry, execOptions{workers: opts.Workers, memo: opts.Memo, remote: opts.RemoteExec}); err != nil {
 		return oci.Descriptor{}, report, err
 	}
 

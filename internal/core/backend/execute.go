@@ -10,6 +10,7 @@ import (
 	"comtainer/internal/actioncache"
 	"comtainer/internal/core/model"
 	"comtainer/internal/fsim"
+	"comtainer/internal/remoteexec"
 	"comtainer/internal/toolchain"
 )
 
@@ -59,6 +60,45 @@ type execOptions struct {
 	workers int
 	// memo, when set, replays commands from the action cache.
 	memo *actioncache.Memoizer
+	// remote, when set, offers cache-missed commands to the build
+	// farm; every farm failure falls back to local execution.
+	remote *remoteexec.Executor
+}
+
+// closures computes each command's transitive dependency set — the
+// seqs whose outputs a farm worker must overlay on the base tree
+// before executing it. The graph is already verified acyclic.
+func closures(cmds []*command) map[int][]int {
+	bySeq := make(map[int]*command, len(cmds))
+	for _, c := range cmds {
+		bySeq[c.seq] = c
+	}
+	memo := make(map[int]map[int]bool, len(cmds))
+	var cl func(int) map[int]bool
+	cl = func(seq int) map[int]bool {
+		if s, ok := memo[seq]; ok {
+			return s
+		}
+		s := map[int]bool{}
+		memo[seq] = s
+		for dep := range bySeq[seq].deps {
+			s[dep] = true
+			for d := range cl(dep) {
+				s[d] = true
+			}
+		}
+		return s
+	}
+	out := make(map[int][]int, len(cmds))
+	for _, c := range cmds {
+		seqs := make([]int, 0, len(cl(c.seq)))
+		for d := range cl(c.seq) {
+			seqs = append(seqs, d)
+		}
+		sort.Ints(seqs)
+		out[c.seq] = seqs
+	}
+	return out
 }
 
 func (o execOptions) workerCount(cmds int) int {
@@ -94,6 +134,22 @@ func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry, opt
 		return nil
 	}
 
+	// Remote mode needs a memoizer (it records each command's outputs
+	// for the dependency overlays) and the session's base tree pushed
+	// up front. A failed push disables the farm for this rebuild —
+	// never the rebuild itself.
+	var depClosure map[int][]int
+	if opts.remote != nil {
+		if opts.memo == nil {
+			opts.memo = actioncache.NewMemoizer(nil)
+		}
+		if err := opts.remote.Prepare(fs); err != nil {
+			opts.remote = nil
+		} else {
+			depClosure = closures(cmds)
+		}
+	}
+
 	// Invert the dependency edges into indegree counters + dependents
 	// lists; both are only touched under mu after this.
 	indeg := make(map[int]int, len(cmds))
@@ -112,7 +168,14 @@ func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry, opt
 		running   int
 		remaining = len(cmds)
 		firstErr  error
+		// outs is each finished command's recorded outputs, the
+		// material of farm overlays. Guarded by mu; a command's
+		// entry is complete before any dependent becomes ready.
+		outs map[int][]actioncache.Output
 	)
+	if opts.remote != nil {
+		outs = make(map[int][]actioncache.Output, len(cmds))
+	}
 	for _, c := range cmds {
 		if indeg[c.seq] == 0 {
 			ready = append(ready, c)
@@ -122,12 +185,31 @@ func executeGraph(g *model.BuildGraph, fs *fsim.FS, reg *toolchain.Registry, opt
 	run := func(c *command) error {
 		runner := toolchain.NewRunner(fs, reg)
 		runner.Memo = opts.memo
+		if opts.remote != nil {
+			// The overlay: every transitive dependency's outputs, in
+			// seq order. Dependencies are terminal by the time c is
+			// scheduled, so reading outs here is race-free.
+			var overlay []actioncache.Output
+			mu.Lock()
+			for _, dep := range depClosure[c.seq] {
+				overlay = append(overlay, outs[dep]...)
+			}
+			mu.Unlock()
+			runner.Remote = func(argv []string, cwd string) (*toolchain.RemoteResult, error) {
+				return opts.remote.Execute(argv, cwd, overlay)
+			}
+		}
 		if err := fs.MkdirAll(c.cwd, 0o755); err != nil {
 			return fmt.Errorf("backend: creating cwd for %q: %w", strings.Join(c.argv, " "), err)
 		}
 		runner.Cwd = fsim.Clean(c.cwd)
 		if err := runner.Run(c.argv); err != nil {
 			return fmt.Errorf("backend: re-executing %q: %w", strings.Join(c.argv, " "), err)
+		}
+		if opts.remote != nil && runner.LastResult != nil {
+			mu.Lock()
+			outs[c.seq] = runner.LastResult.Outputs
+			mu.Unlock()
 		}
 		return nil
 	}

@@ -21,6 +21,7 @@ import (
 	"comtainer/internal/fsim"
 	"comtainer/internal/hijack"
 	"comtainer/internal/oci"
+	"comtainer/internal/remoteexec"
 	"comtainer/internal/sysprofile"
 	"comtainer/internal/toolchain"
 	"comtainer/internal/workloads"
@@ -191,6 +192,9 @@ type SystemSide struct {
 	ActionMemo *actioncache.Memoizer
 	// RebuildWorkers bounds rebuild concurrency (0 = default).
 	RebuildWorkers int
+	// RemoteExec, when set, routes cache-missed rebuild commands to a
+	// remote-execution farm (local fallback on any farm failure).
+	RemoteExec *remoteexec.Executor
 }
 
 // NewSystemSide creates the system-side environment of a cluster.
@@ -229,6 +233,7 @@ func (s *SystemSide) RebuildWith(distTag string, adapters []adapter.Adapter, ext
 		ExtraFiles: extra,
 		Memo:       s.ActionMemo,
 		Workers:    s.RebuildWorkers,
+		RemoteExec: s.RemoteExec,
 	})
 }
 

@@ -1,0 +1,281 @@
+// Package remoteexec is the build farm for rebuild actions: an
+// executor-worker protocol over HTTP (stdlib-only, in the registry's
+// style) that moves cache-miss toolchain commands from the rebuilding
+// client onto a pool of registered workers.
+//
+// The pieces:
+//
+//   - Scheduler: an HTTP service (mounted beside a registry's /v2/
+//     tree, or standalone) where workers register, heartbeat and lease
+//     tasks, and executors submit ready actions from the rebuild DAG
+//     and long-poll their completion. Assignment is capacity-aware:
+//     a worker only holds as many tasks as it has free slots, and
+//     tasks carry platform properties (ISA, toolchain-registry
+//     fingerprint) a worker must match.
+//
+//   - Worker: registers with its slot count and platform, leases
+//     tasks, materializes the executor's file-system snapshot from
+//     registry blobs (moved through the distrib client), runs the
+//     command through toolchain.Runner, publishes the observed
+//     inputs/outputs as a payload blob, and writes the action-cache
+//     entries through to the shared actioncache.RemoteCache so every
+//     farm execution warms the fleet cache.
+//
+//   - Executor: the client side wired into backend.executeGraph via
+//     toolchain.Runner's Remote hook. It pushes the rebuild
+//     file system once per session as a content-addressed tree, ships
+//     each ready action (plus an overlay of its transitive
+//     dependencies' outputs), and re-observes the returned inputs
+//     against its own file system before recording the result — the
+//     local action cache stays executor-authoritative.
+//
+// Failure model: workers that miss heartbeats are expired lazily by
+// the scheduler's long-poll loops and their in-flight tasks requeued
+// (bounded attempts); a farm with no compatible worker declines at
+// submit time; every farm error degrades to local execution, so a
+// rebuild never fails because the farm did.
+package remoteexec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"comtainer/internal/actioncache"
+	"comtainer/internal/digest"
+)
+
+// APIPrefix roots every farm endpoint, so a scheduler can share a mux
+// with a registry's /v2/ tree.
+const APIPrefix = "/farm/v1"
+
+// DefaultRepo is the registry repository holding execution blobs
+// (tree snapshots, overlays, result payloads).
+const DefaultRepo = "comtainer-exec"
+
+// Platform is the execution compatibility contract between a task and
+// a worker: the ISA the toolchain targets and the fingerprint of the
+// toolchain registry the command must run under. System is
+// informational (status output); only ISA and Toolchains gate
+// assignment.
+type Platform struct {
+	ISA        string `json:"isa"`
+	System     string `json:"system,omitempty"`
+	Toolchains string `json:"toolchains"`
+}
+
+// Compatible reports whether a worker with platform w can run a task
+// demanding platform t.
+func (w Platform) Compatible(t Platform) bool {
+	return w.ISA == t.ISA && w.Toolchains == t.Toolchains
+}
+
+// RegisterRequest is a worker announcing itself.
+type RegisterRequest struct {
+	Name     string   `json:"name"`
+	Slots    int      `json:"slots"`
+	Platform Platform `json:"platform"`
+}
+
+// RegisterResponse carries the scheduler-assigned worker identity and
+// the heartbeat interval the worker must honor.
+type RegisterResponse struct {
+	WorkerID        string `json:"workerId"`
+	HeartbeatMillis int64  `json:"heartbeatMillis"`
+}
+
+// TaskSpec is one rebuild command shipped to the farm.
+type TaskSpec struct {
+	Argv []string `json:"argv"`
+	Cwd  string   `json:"cwd"`
+	// Platform the command must execute under.
+	Platform Platform `json:"platform"`
+	// Repo is the registry repository holding BaseTree and Overlay.
+	Repo string `json:"repo"`
+	// BaseTree is the digest of the session's file-system snapshot
+	// (see tree.go), pushed once per rebuild.
+	BaseTree digest.Digest `json:"baseTree"`
+	// Overlay, when non-empty, is the digest of a payload blob whose
+	// outputs (the transitive dependencies' products) are applied on
+	// top of the base tree before execution.
+	Overlay digest.Digest `json:"overlay,omitempty"`
+}
+
+// SubmitResponse answers a task submission. NoWorker means the farm
+// currently has no live worker compatible with the task's platform;
+// the executor runs the command locally instead.
+type SubmitResponse struct {
+	TaskID   string `json:"taskId,omitempty"`
+	NoWorker bool   `json:"noWorker,omitempty"`
+}
+
+// LeasedTask is a task handed to a worker.
+type LeasedTask struct {
+	ID   string   `json:"id"`
+	Spec TaskSpec `json:"spec"`
+}
+
+// LeaseResponse answers a worker's lease poll; Task is nil when the
+// poll timed out with nothing assignable.
+type LeaseResponse struct {
+	Task *LeasedTask `json:"task,omitempty"`
+}
+
+// ResultReport is a worker reporting a finished task. A successful
+// execution carries the digest of the payload blob (pushed to the
+// task's Repo before reporting); a failed one carries Error.
+type ResultReport struct {
+	WorkerID string        `json:"workerId"`
+	Payload  digest.Digest `json:"payload,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// Task states, in lifecycle order.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// TaskStatus is the executor-visible state of a submitted task.
+type TaskStatus struct {
+	ID       string        `json:"id"`
+	State    string        `json:"state"`
+	Attempts int           `json:"attempts"`
+	Payload  digest.Digest `json:"payload,omitempty"`
+	Error    string        `json:"error,omitempty"`
+}
+
+// Terminal reports whether the task has reached a final state.
+func (s TaskStatus) Terminal() bool { return s.State == StateDone || s.State == StateFailed }
+
+// WorkerStatus is one worker's row in the farm status.
+type WorkerStatus struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Slots    int      `json:"slots"`
+	Inflight int      `json:"inflight"`
+	Platform Platform `json:"platform"`
+}
+
+// FarmStatus is the scheduler's aggregate view.
+type FarmStatus struct {
+	Workers []WorkerStatus `json:"workers"`
+	Queued  int            `json:"queued"`
+	Running int            `json:"running"`
+	Done    int            `json:"done"`
+	Failed  int            `json:"failed"`
+}
+
+// Payload is the input/output record of one executed action (and,
+// with Inputs empty, the overlay format for dependency outputs). The
+// worker observes Inputs on its materialized snapshot; the executor
+// re-observes them against its own file system before caching, so a
+// worker can never poison the executor's cache with stale states.
+type Payload struct {
+	Inputs  []actioncache.Input  `json:"inputs,omitempty"`
+	Outputs []actioncache.Output `json:"outputs,omitempty"`
+	// Cacheable marks payloads produced through the action-cache
+	// protocol (manifest+result observed); overlays leave it false.
+	Cacheable bool `json:"cacheable,omitempty"`
+}
+
+const payloadMagic = "#!COMT-EXEC-PAYLOAD\n"
+
+// EncodePayload serializes p with a magic prefix.
+func EncodePayload(p Payload) []byte {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic("remoteexec: marshaling payload: " + err.Error())
+	}
+	return append([]byte(payloadMagic), b...)
+}
+
+// DecodePayload parses bytes produced by EncodePayload.
+func DecodePayload(b []byte) (Payload, error) {
+	var p Payload
+	rest, ok := strings.CutPrefix(string(b), payloadMagic)
+	if !ok {
+		return p, fmt.Errorf("remoteexec: missing %q magic", strings.TrimSpace(payloadMagic))
+	}
+	if err := json.Unmarshal([]byte(rest), &p); err != nil {
+		return p, fmt.Errorf("remoteexec: decoding payload: %w", err)
+	}
+	return p, nil
+}
+
+// --- small HTTP/JSON plumbing shared by worker and executor ---
+
+// httpError is a non-2xx scheduler response.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// isStatus reports whether err is an httpError with the given status.
+func isStatus(err error, status int) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.status == status
+}
+
+// doJSON performs one request with a JSON body (nil in = no body) and
+// decodes the JSON response into out (nil out = discard). Non-2xx
+// statuses become errors carrying the response text.
+func doJSON(ctx context.Context, hc *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("remoteexec: marshaling request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &httpError{
+			status: resp.StatusCode,
+			msg:    fmt.Sprintf("remoteexec: %s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(msg))),
+		}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("remoteexec: decoding %s response: %w", url, err)
+	}
+	return nil
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,425 @@
+package remoteexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scheduler default tuning.
+const (
+	// DefaultHeartbeatTimeout is how long a silent worker stays alive.
+	DefaultHeartbeatTimeout = 3 * time.Second
+	// DefaultMaxAttempts bounds how often a task is reassigned after
+	// worker failures before it is failed back to the executor.
+	DefaultMaxAttempts = 3
+	// maxPollWait caps the long-poll duration of the lease and status
+	// endpoints; clients poll again for longer waits.
+	maxPollWait = 10 * time.Second
+	// pollTick is the re-check interval inside a long poll. Expiry of
+	// dead workers rides on this tick, so the scheduler needs no
+	// background goroutine of its own: as long as anyone is polling
+	// (and an executor with pending tasks always is), failed workers
+	// are detected within one tick.
+	pollTick = 10 * time.Millisecond
+)
+
+// schedWorker is the scheduler's view of one registered worker.
+type schedWorker struct {
+	id       string
+	name     string
+	slots    int
+	platform Platform
+	lastBeat time.Time
+	inflight map[string]bool // task IDs leased to this worker
+}
+
+// schedTask is one submitted task and its lifecycle state.
+type schedTask struct {
+	id       string
+	spec     TaskSpec
+	state    string
+	attempts int
+	worker   string // current assignee while running
+	payload  ResultReport
+}
+
+func (t *schedTask) status() TaskStatus {
+	return TaskStatus{
+		ID:       t.id,
+		State:    t.state,
+		Attempts: t.attempts,
+		Payload:  t.payload.Payload,
+		Error:    t.payload.Error,
+	}
+}
+
+// Scheduler is the farm's control plane. All state is in memory and
+// guarded by one mutex; the HTTP surface (Handler) is the only API.
+// Safe for concurrent use.
+type Scheduler struct {
+	// HeartbeatTimeout expires workers silent for longer than this
+	// (DefaultHeartbeatTimeout when zero).
+	HeartbeatTimeout time.Duration
+	// MaxAttempts bounds reassignment of a task after worker failures
+	// (DefaultMaxAttempts when zero).
+	MaxAttempts int
+
+	mu      sync.Mutex
+	workers map[string]*schedWorker
+	tasks   map[string]*schedTask
+	queue   []string // queued task IDs, FIFO
+	nextID  int
+}
+
+// NewScheduler returns an empty farm scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		workers: make(map[string]*schedWorker),
+		tasks:   make(map[string]*schedTask),
+	}
+}
+
+func (s *Scheduler) heartbeatTimeout() time.Duration {
+	if s.HeartbeatTimeout > 0 {
+		return s.HeartbeatTimeout
+	}
+	return DefaultHeartbeatTimeout
+}
+
+func (s *Scheduler) maxAttempts() int {
+	if s.MaxAttempts > 0 {
+		return s.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+// expireLocked drops workers that missed their heartbeat window and
+// requeues (or fails) their in-flight tasks; queued tasks whose
+// platform no live worker can serve fail immediately so executors
+// fall back to local execution instead of waiting out their poll.
+// Callers hold s.mu.
+func (s *Scheduler) expireLocked(now time.Time) {
+	cutoff := now.Add(-s.heartbeatTimeout())
+	for id, w := range s.workers {
+		if w.lastBeat.After(cutoff) {
+			continue
+		}
+		delete(s.workers, id)
+		for tid := range w.inflight {
+			t, ok := s.tasks[tid]
+			if !ok || t.state != StateRunning || t.worker != id {
+				continue
+			}
+			s.requeueLocked(t, fmt.Sprintf("worker %s (%s) missed heartbeats", id, w.name))
+		}
+	}
+	for _, tid := range append([]string(nil), s.queue...) {
+		t := s.tasks[tid]
+		if t == nil || t.state != StateQueued {
+			continue
+		}
+		if !s.hasCompatibleLocked(t.spec.Platform) {
+			s.failLocked(t, "no compatible worker remaining")
+		}
+	}
+}
+
+// requeueLocked returns a running task to the queue, or fails it when
+// its attempt budget is spent.
+func (s *Scheduler) requeueLocked(t *schedTask, why string) {
+	t.worker = ""
+	if t.attempts >= s.maxAttempts() {
+		s.failLocked(t, fmt.Sprintf("%s after %d attempts", why, t.attempts))
+		return
+	}
+	t.state = StateQueued
+	s.queue = append(s.queue, t.id)
+}
+
+// failLocked moves a task to its terminal failed state (removing it
+// from the queue if present).
+func (s *Scheduler) failLocked(t *schedTask, why string) {
+	t.state = StateFailed
+	t.worker = ""
+	t.payload.Error = why
+	for i, id := range s.queue {
+		if id == t.id {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *Scheduler) hasCompatibleLocked(p Platform) bool {
+	for _, w := range s.workers {
+		if w.platform.Compatible(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Status snapshots the farm for monitoring and tests.
+func (s *Scheduler) Status() FarmStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(time.Now())
+	var st FarmStatus
+	for _, w := range s.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Slots: w.slots,
+			Inflight: len(w.inflight), Platform: w.platform,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	for _, t := range s.tasks {
+		switch t.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// Handler returns the HTTP handler serving the farm API under
+// APIPrefix. Mount it on the same mux as a registry's /v2/ tree to
+// run a combined scheduler+blob endpoint.
+func (s *Scheduler) Handler() http.Handler {
+	return http.HandlerFunc(s.route)
+}
+
+func (s *Scheduler) route(w http.ResponseWriter, r *http.Request) {
+	p, ok := strings.CutPrefix(r.URL.Path, APIPrefix+"/")
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	parts := strings.Split(strings.Trim(p, "/"), "/")
+	switch {
+	case len(parts) == 1 && parts[0] == "workers" && r.Method == http.MethodPost:
+		s.handleRegister(w, r)
+	case len(parts) == 3 && parts[0] == "workers" && parts[2] == "heartbeat" && r.Method == http.MethodPost:
+		s.handleHeartbeat(w, r, parts[1])
+	case len(parts) == 1 && parts[0] == "lease" && r.Method == http.MethodPost:
+		s.handleLease(w, r)
+	case len(parts) == 1 && parts[0] == "tasks" && r.Method == http.MethodPost:
+		s.handleSubmit(w, r)
+	case len(parts) == 2 && parts[0] == "tasks" && r.Method == http.MethodGet:
+		s.handleTaskStatus(w, r, parts[1])
+	case len(parts) == 3 && parts[0] == "tasks" && parts[2] == "result" && r.Method == http.MethodPost:
+		s.handleResult(w, r, parts[1])
+	case len(parts) == 1 && parts[0] == "status" && r.Method == http.MethodGet:
+		writeJSON(w, s.Status())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "malformed request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// pollWait parses the ?wait= duration of a long poll, clamped to
+// [0, maxPollWait].
+func pollWait(r *http.Request) time.Duration {
+	ms, err := strconv.Atoi(r.URL.Query().Get("wait"))
+	if err != nil || ms < 0 {
+		return 0
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxPollWait {
+		d = maxPollWait
+	}
+	return d
+}
+
+func (s *Scheduler) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Slots <= 0 {
+		req.Slots = 1
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("w%d", s.nextID)
+	s.workers[id] = &schedWorker{
+		id: id, name: req.Name, slots: req.Slots,
+		platform: req.Platform, lastBeat: time.Now(),
+		inflight: make(map[string]bool),
+	}
+	s.mu.Unlock()
+	// Workers must beat well inside the expiry window; a third leaves
+	// room for two lost beats.
+	writeJSON(w, RegisterResponse{WorkerID: id, HeartbeatMillis: s.heartbeatTimeout().Milliseconds() / 3})
+}
+
+func (s *Scheduler) handleHeartbeat(w http.ResponseWriter, r *http.Request, id string) {
+	s.mu.Lock()
+	wk, ok := s.workers[id]
+	if ok {
+		wk.lastBeat = time.Now()
+	}
+	s.mu.Unlock()
+	if !ok {
+		// Expired while silent: the worker must re-register.
+		http.Error(w, "unknown worker (expired?)", http.StatusGone)
+		return
+	}
+	writeJSON(w, struct{}{})
+}
+
+func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec TaskSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	if len(spec.Argv) == 0 {
+		http.Error(w, "task has empty argv", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.expireLocked(time.Now())
+	if !s.hasCompatibleLocked(spec.Platform) {
+		s.mu.Unlock()
+		writeJSON(w, SubmitResponse{NoWorker: true})
+		return
+	}
+	s.nextID++
+	t := &schedTask{id: fmt.Sprintf("t%d", s.nextID), spec: spec, state: StateQueued}
+	s.tasks[t.id] = t
+	s.queue = append(s.queue, t.id)
+	s.mu.Unlock()
+	writeJSON(w, SubmitResponse{TaskID: t.id})
+}
+
+// handleLease hands the polling worker the oldest queued task its
+// platform can run, long-polling up to ?wait= for one to appear. The
+// lease also counts as a heartbeat.
+func (s *Scheduler) handleLease(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("worker")
+	deadline := time.Now().Add(pollWait(r))
+	ctx := r.Context()
+	for {
+		s.mu.Lock()
+		now := time.Now()
+		wk, ok := s.workers[id]
+		if !ok {
+			s.mu.Unlock()
+			http.Error(w, "unknown worker (expired?)", http.StatusGone)
+			return
+		}
+		wk.lastBeat = now
+		s.expireLocked(now)
+		if len(wk.inflight) < wk.slots {
+			for i, tid := range s.queue {
+				t := s.tasks[tid]
+				if t == nil || t.state != StateQueued || !wk.platform.Compatible(t.spec.Platform) {
+					continue
+				}
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				t.state = StateRunning
+				t.worker = id
+				t.attempts++
+				wk.inflight[tid] = true
+				s.mu.Unlock()
+				writeJSON(w, LeaseResponse{Task: &LeasedTask{ID: t.id, Spec: t.spec}})
+				return
+			}
+		}
+		s.mu.Unlock()
+		if time.Now().After(deadline) {
+			writeJSON(w, LeaseResponse{})
+			return
+		}
+		if err := sleepCtx(ctx, pollTick); err != nil {
+			return
+		}
+	}
+}
+
+// handleResult records a worker's report. Reports are idempotent:
+// once a task is terminal, later reports (duplicates, or a
+// reassigned-away worker finishing anyway) are acknowledged and
+// dropped — first result wins, and because payloads are
+// content-addressed a duplicate carries identical bytes anyway.
+func (s *Scheduler) handleResult(w http.ResponseWriter, r *http.Request, tid string) {
+	var rep ResultReport
+	if !readJSON(w, r, &rep) {
+		return
+	}
+	s.mu.Lock()
+	t, ok := s.tasks[tid]
+	if !ok {
+		s.mu.Unlock()
+		http.Error(w, "unknown task", http.StatusNotFound)
+		return
+	}
+	if wk, live := s.workers[rep.WorkerID]; live {
+		wk.lastBeat = time.Now()
+		delete(wk.inflight, tid)
+	}
+	switch {
+	case t.state == StateDone || t.state == StateFailed:
+		// Idempotent: already terminal.
+	case rep.Error != "":
+		t.payload = ResultReport{}
+		s.requeueLocked(t, rep.Error)
+	default:
+		t.state = StateDone
+		t.worker = ""
+		t.payload = rep
+	}
+	st := t.status()
+	s.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// handleTaskStatus long-polls a task until it is terminal or ?wait=
+// elapses. The poll drives worker expiry, so an executor waiting on a
+// task stuck on a dead worker sees the requeue/failure promptly.
+func (s *Scheduler) handleTaskStatus(w http.ResponseWriter, r *http.Request, tid string) {
+	deadline := time.Now().Add(pollWait(r))
+	ctx := r.Context()
+	for {
+		s.mu.Lock()
+		t, ok := s.tasks[tid]
+		if !ok {
+			s.mu.Unlock()
+			http.Error(w, "unknown task", http.StatusNotFound)
+			return
+		}
+		s.expireLocked(time.Now())
+		st := t.status()
+		s.mu.Unlock()
+		if st.State == StateDone || st.State == StateFailed || time.Now().After(deadline) {
+			writeJSON(w, st)
+			return
+		}
+		if err := sleepCtx(ctx, pollTick); err != nil {
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package toolchain
 import (
 	"encoding/json"
 	"io/fs"
+	"strings"
 
 	"comtainer/internal/actioncache"
 	"comtainer/internal/cclang"
@@ -57,6 +58,30 @@ func (r *Runner) applyResult(res *actioncache.Result) {
 	}
 	for _, out := range res.Outputs {
 		r.FS.WriteFile(out.Path, out.Data, fs.FileMode(out.Mode))
+	}
+}
+
+// applyRemote adopts a farm execution: every input edge the worker
+// observed is re-observed here through the recording helpers — the
+// cache entry must reflect *this* file system's states, never the
+// worker's, or a skewed worker snapshot could poison future replays —
+// and the outputs are then written through the recorder. Inputs go
+// first: NoteInput drops self-reads of paths already recorded as
+// outputs, and that filter must see the inputs before the outputs
+// land.
+func (r *Runner) applyRemote(rr *RemoteResult) {
+	for _, in := range rr.Inputs {
+		switch in.Op {
+		case actioncache.OpRead:
+			r.readFile(in.Path)
+		case actioncache.OpExists:
+			r.exists(in.Path)
+		case actioncache.OpResolve:
+			r.resolveSymlink(in.Path)
+		}
+	}
+	for _, out := range rr.Outputs {
+		r.writeFile(out.Path, out.Data, fs.FileMode(out.Mode))
 	}
 }
 
@@ -129,4 +154,22 @@ func toolchainFingerprint(tc *Toolchain) string {
 		panic("toolchain: marshaling toolchain fingerprint: " + err.Error())
 	}
 	return string(digest.FromBytes(b))
+}
+
+// Fingerprint digests the registry's complete tool-name→toolchain
+// binding. Two registries with equal fingerprints dispatch every tool
+// to behaviorally identical toolchains, which is the compatibility
+// contract remote execution schedules on: a farm worker whose
+// registry fingerprint matches the executor's produces bit-identical
+// action results.
+func (r *Registry) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString("comtainer-registry-fp/v1")
+	for _, name := range r.Tools() {
+		b.WriteByte(0)
+		b.WriteString(name)
+		b.WriteByte(0)
+		b.WriteString(toolchainFingerprint(r.byTool[name]))
+	}
+	return string(digest.FromString(b.String()))
 }

@@ -46,9 +46,36 @@ type Runner struct {
 	// cost — that is the point.
 	Memo *actioncache.Memoizer
 
+	// Remote, when set alongside Memo, is offered every cacheable
+	// command that missed the cache before it is executed locally.
+	// Returning a non-nil RemoteResult means a farm worker ran the
+	// command: its inputs are re-observed against this runner's FS and
+	// its outputs written through the recorder, so the local cache
+	// entry stays authoritative. Returning (nil, nil) declines and the
+	// command dispatches locally as usual.
+	Remote RemoteExec
+
+	// LastResult is the input/output record of the most recent Run
+	// that went through the action cache (executed, replayed, or
+	// remote), nil for uncacheable commands. The rebuild scheduler
+	// reads it to assemble dependency overlays for remote execution.
+	LastResult *actioncache.Result
+
 	// rec is the recorder of the action currently executing, nil when
 	// uncached. The FS helper methods report through it.
 	rec *actioncache.Recorder
+}
+
+// RemoteExec delegates one expanded command (argv, to run in cwd) to
+// a remote executor. See Runner.Remote for the contract.
+type RemoteExec func(argv []string, cwd string) (*RemoteResult, error)
+
+// RemoteResult is what a remote execution hands back: the input edges
+// the worker observed while running the command and the output files
+// it produced.
+type RemoteResult struct {
+	Inputs  []actioncache.Input
+	Outputs []actioncache.Output
 }
 
 // NewRunner returns a Runner rooted at / on fsys.
@@ -163,12 +190,23 @@ func (r *Runner) Run(argv []string) error {
 	}
 	argv = expanded
 	r.Stats.Commands++
+	r.LastResult = nil
 	base := path.Base(argv[0])
 	if r.Memo != nil {
 		if id, ok := r.actionKey(argv, base); ok {
 			res, replay, err := r.Memo.Do(id, runnerState{r}, func(rec *actioncache.Recorder) error {
 				r.rec = rec
 				defer func() { r.rec = nil }()
+				if r.Remote != nil {
+					rr, rerr := r.Remote(argv, r.Cwd)
+					if rerr != nil {
+						return rerr
+					}
+					if rr != nil {
+						r.applyRemote(rr)
+						return nil
+					}
+				}
 				return r.dispatch(argv, base)
 			})
 			if err != nil {
@@ -177,6 +215,7 @@ func (r *Runner) Run(argv []string) error {
 			if replay {
 				r.applyResult(res)
 			}
+			r.LastResult = res
 			return nil
 		}
 	}

@@ -8,17 +8,28 @@
 #
 # overrides the default benchmark selection; OUT_DIR overrides where the
 # results land (default bench-results/).
+#
+# After writing the summary the script diffs it against the most recent
+# committed BENCH_*.json snapshot in the repository root (via
+# `comtainer-bench diff`), which gates warm-rebuild time, pull
+# throughput and the vet replay ratio at 10%. The diff is informational
+# by default; set BENCH_GATE=1 to make a regression fail the script.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkRebuildColdVsWarm|BenchmarkTable1Systems|BenchmarkTable2Workloads|BenchmarkTable3ImageSizes}"
+BENCH="${BENCH:-BenchmarkRebuildColdVsWarm|BenchmarkTable1Systems|BenchmarkTable2Workloads|BenchmarkTable3ImageSizes|BenchmarkParallelPull|BenchmarkRemoteExecScaling}"
 OUT_DIR="${OUT_DIR:-bench-results}"
 STAMP=$(date -u +%Y%m%dT%H%M%SZ)
 RAW="$OUT_DIR/bench-$STAMP.txt"
 JSON="$OUT_DIR/bench-$STAMP.json"
 
 mkdir -p "$OUT_DIR"
+
+# comtainer-bench provides `time` (portable sub-second wall clock; date
+# +%s.%N is a GNU extension) and `diff` (the snapshot gate).
+BENCH_BIN="$OUT_DIR/comtainer-bench"
+go build -o "$BENCH_BIN" ./cmd/comtainer-bench
 
 echo "== go test -bench ($BENCH) =="
 go test -run '^$' -bench "$BENCH" -benchmem -benchtime 1x . | tee "$RAW"
@@ -30,14 +41,9 @@ echo "== comtainer-vet cold vs warm =="
 VET_BIN="$OUT_DIR/comtainer-vet-bench"
 VET_CACHE=$(mktemp -d)
 go build -o "$VET_BIN" ./cmd/comtainer-vet
-t0=$(date +%s.%N)
-"$VET_BIN" -cache -cache-dir "$VET_CACHE" ./... >/dev/null
-t1=$(date +%s.%N)
-"$VET_BIN" -cache -cache-dir "$VET_CACHE" ./... >/dev/null
-t2=$(date +%s.%N)
+VET_COLD=$("$BENCH_BIN" time "$VET_BIN" -cache -cache-dir "$VET_CACHE" ./...)
+VET_WARM=$("$BENCH_BIN" time "$VET_BIN" -cache -cache-dir "$VET_CACHE" ./...)
 rm -rf "$VET_CACHE" "$VET_BIN"
-VET_COLD=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", b - a }')
-VET_WARM=$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.3f", b - a }')
 echo "vet cold: ${VET_COLD}s  warm: ${VET_WARM}s"
 
 # Parse `BenchmarkName  N  value unit  value unit ...` lines into JSON:
@@ -64,3 +70,21 @@ END {
 
 echo "raw output:  $RAW"
 echo "json summary: $JSON"
+
+# Diff against the newest committed snapshot (BENCH_<stamp>.json sorts
+# lexically by date). Informational unless BENCH_GATE=1.
+SNAPSHOT=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [ -n "${SNAPSHOT:-}" ]; then
+    echo "== snapshot diff vs $SNAPSHOT =="
+    if ! "$BENCH_BIN" diff "$SNAPSHOT" "$JSON"; then
+        if [ "${BENCH_GATE:-0}" = "1" ]; then
+            echo "bench.sh: BENCH_GATE=1 and a gated metric regressed" >&2
+            rm -f "$BENCH_BIN"
+            exit 1
+        fi
+        echo "bench.sh: regression noted (set BENCH_GATE=1 to enforce)"
+    fi
+else
+    echo "no committed BENCH_*.json snapshot; skipping diff"
+fi
+rm -f "$BENCH_BIN"

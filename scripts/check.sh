@@ -55,13 +55,23 @@ go build ./...
 echo "== chaos (-race, -short seed subset) =="
 # Fast fault-injection smoke: crash-restart-verify cycles over a
 # reduced seed subset (-short trims 100 seeds to 10 per suite), plus
-# the resume/cancellation/breaker tests. CI's dedicated chaos job runs
-# the full 100-seed sweep; this step catches regressions in seconds.
+# the resume/cancellation/breaker tests and the remote-execution farm
+# chaos (worker killed mid-action, lossy result uploads). CI's
+# dedicated chaos job runs the full 100-seed sweep; this step catches
+# regressions in seconds.
 go test -race -short -count=1 \
     -run 'Chaos|CrashRestartVerify|SaveLayoutCrashConsistency|Resume|CancelAborts|Breaker|TieredDegrades' \
-    ./internal/distrib ./internal/actioncache ./internal/oci
+    ./internal/distrib ./internal/actioncache ./internal/oci ./internal/remoteexec
 
 echo "== go test -race =="
 go test -race ./...
+
+if [ "${BENCH_GATE:-0}" = "1" ]; then
+    echo "== bench gate (BENCH_GATE=1) =="
+    # Opt-in performance gate: run the benchmark harness and fail on a
+    # >10% regression against the latest committed BENCH_*.json
+    # snapshot (warm-rebuild time, pull throughput, vet replay ratio).
+    BENCH_GATE=1 scripts/bench.sh
+fi
 
 echo "All checks passed."
