@@ -25,6 +25,7 @@ import (
 	"comtainer/internal/digest"
 	"comtainer/internal/dpkg"
 	"comtainer/internal/experiments"
+	"comtainer/internal/fleet"
 	"comtainer/internal/fsim"
 	"comtainer/internal/oci"
 	"comtainer/internal/perfmodel"
@@ -699,6 +700,113 @@ func BenchmarkParallelPull(b *testing.B) {
 	b.ReportMetric(float64(len(names)), "images")
 	if speedup < 2 {
 		b.Errorf("parallel pull speedup %.2fx, want >= 2x", speedup)
+	}
+}
+
+// BenchmarkFleetPullThroughput measures the registry fleet's horizontal
+// read scaling: the Table-2 image set is pushed through a routing proxy
+// backed first by one and then by three single-replica shards whose blob
+// reads serialize behind a per-shard 2ms latency (modeling one registry
+// node's service capacity), then pulled concurrently (Workers=8) through
+// the proxy into a fresh store. With one shard every read queues behind
+// that node's lock; with three the hash ring spreads the digests so
+// reads proceed on three nodes at once. The proxy runs without a
+// pull-through cache so every read pays the shard round-trip. The
+// 3-shard pull must be measurably faster.
+func BenchmarkFleetPullThroughput(b *testing.B) {
+	const blobLatency = 2 * time.Millisecond
+
+	user, err := core.NewUserSide(toolchain.ISAx86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type img struct{ name, localTag string }
+	var images []img
+	for _, app := range workloads.Apps() {
+		res, err := user.BuildExtended(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		images = append(images, img{app.Name, res.ExtendedTag})
+	}
+
+	run := func(shardCount int) time.Duration {
+		var groups []*fleet.ShardGroup
+		var closers []func()
+		defer func() {
+			for _, c := range closers {
+				c()
+			}
+		}()
+		for i := 0; i < shardCount; i++ {
+			srv := registry.NewServer()
+			srv.TrustReferences = true
+			inner := srv.Handler()
+			mu := new(sync.Mutex) // one node: its reads serialize
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.Method == http.MethodGet && strings.Contains(r.URL.Path, "/blobs/") {
+					mu.Lock()
+					time.Sleep(blobLatency)
+					mu.Unlock()
+				}
+				inner.ServeHTTP(w, r)
+			}))
+			closers = append(closers, ts.Close)
+			g, err := fleet.NewShardGroup(fmt.Sprintf("shard%d", i+1), ts.URL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			groups = append(groups, g)
+		}
+		p, err := fleet.NewProxy(groups, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := httptest.NewServer(p.Handler())
+		defer pts.Close()
+
+		push := registry.NewClient(pts.URL)
+		push.Workers = 8
+		for _, im := range images {
+			if err := push.Push(context.Background(), user.Repo, im.localTag, im.name, "v1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		var wg sync.WaitGroup
+		errs := make(chan error, len(images))
+		t0 := time.Now()
+		for _, im := range images {
+			wg.Add(1)
+			go func(im img) {
+				defer wg.Done()
+				c := registry.NewClient(pts.URL)
+				c.Workers = 8
+				errs <- c.Pull(context.Background(), oci.NewRepository(), im.name, "v1", im.name)
+			}(im)
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return elapsed
+	}
+
+	var one, three time.Duration
+	for i := 0; i < b.N; i++ {
+		one = run(1)
+		three = run(3)
+	}
+	b.ReportMetric(float64(one)/1e6, "shards1-ms")
+	b.ReportMetric(float64(three)/1e6, "shards3-ms")
+	speedup := float64(one) / float64(three)
+	b.ReportMetric(speedup, "shards3-vs-1-x")
+	if speedup < 1.2 {
+		b.Errorf("3-shard pull speedup %.2fx over 1 shard, want >= 1.2x", speedup)
 	}
 }
 

@@ -115,6 +115,7 @@ func diffMain(args []string) int {
 	}{
 		{"warm rebuild ms", "BenchmarkRebuildColdVsWarm", "warm-ms", false},
 		{"pull speedup x", "BenchmarkParallelPull", "speedup-x", true},
+		{"fleet shards x", "BenchmarkFleetPullThroughput", "shards3-vs-1-x", true},
 		{"vet replay ratio", "", "", false},
 	}
 	failed := false
@@ -128,9 +129,19 @@ func diffMain(args []string) int {
 			oldV, oldOK = oldS.metric(g.bench, g.unit)
 			newV, newOK = newS.metric(g.bench, g.unit)
 		}
-		if !oldOK || !newOK {
-			fmt.Printf("  %-18s skipped (metric missing from %s snapshot)\n",
-				g.label, map[bool]string{true: "new", false: "old"}[oldOK])
+		// A metric present on only one side is informational, never a
+		// gate: a snapshot predating a benchmark (or trailing a removed
+		// one) has nothing to regress against. Show the value we do
+		// have so the report still carries it.
+		switch {
+		case !oldOK && !newOK:
+			fmt.Printf("  %-18s skipped (metric missing from both snapshots)\n", g.label)
+			continue
+		case !oldOK:
+			fmt.Printf("  %-18s        (-) -> %10.3f  info only (new metric, no baseline)\n", g.label, newV)
+			continue
+		case !newOK:
+			fmt.Printf("  %-18s %10.3f -> (-)         info only (metric absent from new snapshot)\n", g.label, oldV)
 			continue
 		}
 		// Regression is measured as the relative move in the "worse"

@@ -33,6 +33,15 @@ import (
 type Client struct {
 	// Base is the registry root, e.g. "http://127.0.0.1:5000".
 	Base string
+	// Resolver, when set, maps a blob digest to the base URL of the
+	// endpoint owning it — fleet-aware endpoint resolution. Blob
+	// operations (HEAD probe, chunked upload, fetch) go straight to the
+	// resolved endpoint; manifest and tag operations stay on Base (the
+	// front-end proxy, which fans them out). A digest the resolver
+	// declines (ok false) falls back to Base. Blob GETs answered with a
+	// 307/308 redirect (a routing proxy deferring to the owning shard)
+	// are followed transparently by the underlying http.Client.
+	Resolver func(d digest.Digest) (base string, ok bool)
 	// HTTP is the transport; defaults to http.DefaultClient.
 	HTTP *http.Client
 	// Workers bounds parallel blob transfers per image (default 4).
@@ -95,6 +104,21 @@ func (c *Client) backoff() time.Duration {
 
 func (c *Client) url(parts ...string) string {
 	return c.Base + "/v2/" + strings.Join(parts, "/")
+}
+
+// baseFor resolves the endpoint owning blob d, falling back to Base.
+func (c *Client) baseFor(d digest.Digest) string {
+	if c.Resolver != nil {
+		if b, ok := c.Resolver(d); ok && b != "" {
+			return strings.TrimRight(b, "/")
+		}
+	}
+	return c.Base
+}
+
+// blobURL builds a blob-scoped URL against the endpoint owning d.
+func (c *Client) blobURL(d digest.Digest, parts ...string) string {
+	return c.baseFor(d) + "/v2/" + strings.Join(parts, "/")
 }
 
 // httpStatusError is a non-2xx response; its code drives the
@@ -295,7 +319,7 @@ func (c *Client) ListTags(ctx context.Context, name string) ([]string, error) {
 // HasBlob asks the registry (HEAD) whether it already holds blob d —
 // the cross-image dedup probe.
 func (c *Client) HasBlob(ctx context.Context, name string, d digest.Digest) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.url(name, "blobs", string(d)), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.blobURL(d, name, "blobs", string(d)), nil)
 	if err != nil {
 		return false, err
 	}
@@ -316,9 +340,11 @@ func (c *Client) HasBlob(ctx context.Context, name string, d digest.Digest) (boo
 
 // --- push side ---
 
-// startUpload opens an upload session and returns its absolute URL.
-func (c *Client) startUpload(ctx context.Context, name string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(name, "blobs", "uploads")+"/", nil)
+// startUpload opens an upload session for blob d on the endpoint that
+// owns it and returns the session's absolute URL.
+func (c *Client) startUpload(ctx context.Context, name string, d digest.Digest) (string, error) {
+	base := c.baseFor(d)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v2/"+name+"/blobs/uploads/", nil)
 	if err != nil {
 		return "", err
 	}
@@ -335,7 +361,7 @@ func (c *Client) startUpload(ctx context.Context, name string) (string, error) {
 		return "", fmt.Errorf("distrib: upload session has no Location")
 	}
 	if strings.HasPrefix(loc, "/") {
-		loc = c.Base + loc
+		loc = base + loc
 	}
 	return loc, nil
 }
@@ -445,7 +471,7 @@ func (c *Client) PushBlob(ctx context.Context, name string, src BlobSource, d di
 		return nil
 	}
 	return c.withRetry(ctx, func(ctx context.Context) error {
-		loc, err := c.startUpload(ctx, name)
+		loc, err := c.startUpload(ctx, name, d)
 		if err != nil {
 			return err
 		}
@@ -614,7 +640,7 @@ func (c *Client) fetchBlob(ctx context.Context, dst Store, name string, d digest
 		}
 		var buf bytes.Buffer // bytes verified-received across attempts
 		return c.withRetry(ctx, func(ctx context.Context) error {
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(name, "blobs", string(d)), nil)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.blobURL(d, name, "blobs", string(d)), nil)
 			if err != nil {
 				return err
 			}

@@ -28,6 +28,13 @@ import (
 	"comtainer/internal/digest"
 )
 
+// ReplicatedHeader marks a write request as intra-fleet replication
+// traffic: a shard leader forwarding a committed write to its
+// followers sets it, and a registry receiving it skips its own commit
+// hook — breaking the replication loop in symmetric leader-follower
+// pairs where every replica is configured to forward to the others.
+const ReplicatedHeader = "Comtainer-Replicated"
+
 // BlobSource is the read side of a content-addressed blob store. Open
 // streams blob content so large layers never need to be fully resident.
 type BlobSource interface {

@@ -25,6 +25,16 @@ type manifestRefs struct {
 // reachable blobs to be collected. Returns the number of blobs
 // deleted.
 func GC(s Store, roots []oci.Descriptor) (int, error) {
+	return GCProtected(s, roots, nil)
+}
+
+// GCProtected is GC with an extra survival rule: any blob for which
+// protect returns true is kept even when unreachable from roots. A
+// registry uses this to pin blobs committed by an in-flight push whose
+// manifest has not yet registered its references — without it, a sweep
+// racing a concurrent push could collect a blob between its commit and
+// the ref registration, and the closing manifest PUT would then 400.
+func GCProtected(s Store, roots []oci.Descriptor, protect func(digest.Digest) bool) (int, error) {
 	reachable := map[digest.Digest]bool{}
 	var walk func(d digest.Digest) error
 	walk = func(d digest.Digest) error {
@@ -61,6 +71,9 @@ func GC(s Store, roots []oci.Descriptor) (int, error) {
 	dropped := 0
 	for _, d := range s.Digests() {
 		if reachable[d] {
+			continue
+		}
+		if protect != nil && protect(d) {
 			continue
 		}
 		if err := s.Delete(d); err != nil {

@@ -145,6 +145,56 @@ func TestGCMissingRootRefuses(t *testing.T) {
 	}
 }
 
+// TestGCProtectedPinsInFlightPush models a sweep racing a concurrent
+// push: blobs already committed but not yet referenced by any manifest
+// (the window between a blob PUT and the closing manifest PUT) are
+// pinned by the protect callback and must survive, while equally
+// unreachable garbage outside the pin set is still collected. Once the
+// protection lapses — the grace window a registry gives fresh commits —
+// a second sweep reclaims them.
+func TestGCProtectedPinsInFlightPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := oci.NewStore()
+	tagged := buildImage(t, s, rng, 2)
+
+	inflight := map[digest.Digest]bool{}
+	for i := 0; i < 3; i++ {
+		content := make([]byte, 128)
+		rng.Read(content)
+		inflight[s.Put(content)] = true
+	}
+	garbage := s.Put([]byte("stale orphan from long ago"))
+
+	dropped, err := GCProtected(s, []oci.Descriptor{tagged}, func(d digest.Digest) bool {
+		return inflight[d]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 || s.Has(garbage) {
+		t.Errorf("dropped = %d, stale garbage present = %v; want exactly the unpinned orphan gone", dropped, s.Has(garbage))
+	}
+	for d := range inflight {
+		if !s.Has(d) {
+			t.Errorf("in-flight blob %s collected despite protection", d.Short())
+		}
+	}
+
+	// Grace expired: the same blobs are plain garbage now.
+	dropped, err = GCProtected(s, []oci.Descriptor{tagged}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != len(inflight) {
+		t.Errorf("post-grace sweep dropped %d blobs, want %d", dropped, len(inflight))
+	}
+	for d := range inflight {
+		if s.Has(d) {
+			t.Errorf("blob %s survived the post-grace sweep", d.Short())
+		}
+	}
+}
+
 // TestGCOnDisk runs the collector against a DiskStore to cover the
 // persistent Delete path.
 func TestGCOnDisk(t *testing.T) {

@@ -1,0 +1,133 @@
+package fleet_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"comtainer/internal/actioncache"
+	"comtainer/internal/core"
+	"comtainer/internal/core/adapter"
+	"comtainer/internal/oci"
+	"comtainer/internal/remoteexec"
+	"comtainer/internal/sysprofile"
+	"comtainer/internal/workloads"
+)
+
+// buildApp builds one workload's extended image on a fresh user side.
+func buildApp(t *testing.T, sys *sysprofile.System, name string) (*core.UserSide, core.BuildResult) {
+	t.Helper()
+	user, err := core.NewUserSide(sys.ISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workloads.Find(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := user.BuildExtended(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return user, res
+}
+
+// rebuild pulls and rebuilds the app on a fresh system side with the
+// given executor (nil = all-local) and returns the +coMre digest.
+func rebuild(t *testing.T, sys *sysprofile.System, user *core.UserSide, res core.BuildResult, farm *remoteexec.Executor) oci.Descriptor {
+	t.Helper()
+	system, err := core.NewSystemSide(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	system.RebuildWorkers = 4
+	system.RemoteExec = farm
+	if err := system.Pull(user.Repo, res.ExtendedTag); err != nil {
+		t.Fatal(err)
+	}
+	desc, _, err := system.Rebuild(res.DistTag, adapter.DefaultAdapted(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return desc
+}
+
+// TestFleetFarmRebuildThroughProxy points the whole build farm — the
+// worker's blob plane, the shared remote action cache, and the
+// executor — at the fleet proxy: /farm/v1 forwards to the scheduler
+// while payloads and cache documents land on sharded, fanned-out
+// registries. The remote rebuild must match the local one, and the
+// cache documents must actually be spread across the shards.
+func TestFleetFarmRebuildThroughProxy(t *testing.T) {
+	sys := sysprofile.X86Cluster()
+	user, res := buildApp(t, sys, "hpccg")
+	local := rebuild(t, sys, user, res, nil)
+
+	sched := remoteexec.NewScheduler()
+	schedTS := httptest.NewServer(sched.Handler())
+	t.Cleanup(schedTS.Close)
+	p, ts, shards := startFleet(t, 1, 1)
+	p.FarmBackend = schedTS.URL
+	ts.Config.Handler = p.Handler() // rebuild routes now that FarmBackend is set
+
+	var wg sync.WaitGroup
+	t.Cleanup(wg.Wait)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < 2; i++ {
+		w := remoteexec.NewWorker(ts.URL, sys, sys.Toolchains)
+		w.Cache = actioncache.NewRemoteCacheClient(w.Client, "")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx) // lifecycle errors surface as farm-level fallback
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sched.Status().Workers) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers did not register through the proxy in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	exec := remoteexec.NewExecutor(ts.URL, sys, sys.Toolchains)
+	remote := rebuild(t, sys, user, res, exec)
+	if remote.Digest != local.Digest {
+		t.Fatalf("farm-through-proxy rebuild digest %s differs from local %s", remote.Digest, local.Digest)
+	}
+	st := exec.Stats()
+	if st.Remote == 0 || st.Errors != 0 {
+		t.Fatalf("executor stats %s: want remote actions through the proxy", st)
+	}
+
+	// Action-cache documents are manifests: fanned out to every shard.
+	for i, sh := range shards {
+		var acTags int
+		for _, key := range sh.replicas[0].srv.Tags() {
+			if strings.Contains(key, ":ac-") {
+				acTags++
+			}
+		}
+		if acTags < int(2*st.Remote) {
+			t.Fatalf("shard %d holds %d action-cache tags for %d remote actions, want 2 per action", i, acTags, st.Remote)
+		}
+	}
+	// Their blobs are partitioned: with dozens of documents, both
+	// shards must hold some.
+	for i, sh := range shards {
+		if len(sh.replicas[0].srv.Blobs().Digests()) == 0 {
+			t.Fatalf("shard %d holds no blobs; farm data plane was not sharded", i)
+		}
+	}
+
+	// A second executor replays everything from the fleet-backed cache.
+	exec2 := remoteexec.NewExecutor(ts.URL, sys, sys.Toolchains)
+	again := rebuild(t, sys, user, res, exec2)
+	if again.Digest != local.Digest {
+		t.Fatalf("cache-replay rebuild digest %s differs from local %s", again.Digest, local.Digest)
+	}
+}

@@ -1,0 +1,483 @@
+// Functional tests of the registry fleet: sharded push/pull through
+// the proxy, synchronous replication, the pull-through cache, read
+// redirects, the fleet-aware client resolver, and GC racing pushes.
+// External test package so the fleet is driven through the same
+// distrib client the CLI uses.
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/distrib"
+	"comtainer/internal/fleet"
+	"comtainer/internal/fsim"
+	"comtainer/internal/oci"
+	"comtainer/internal/registry"
+)
+
+// testReplica is one storage registry participating in a shard group.
+type testReplica struct {
+	srv *registry.Server
+	rep *fleet.Replicator
+	ts  *httptest.Server
+}
+
+// testShard is a replica group plus its routing handle.
+type testShard struct {
+	group    *fleet.ShardGroup
+	replicas []*testReplica
+}
+
+// leaderReplica returns the replica currently leading the group.
+func (sh *testShard) leaderReplica(t *testing.T) *testReplica {
+	t.Helper()
+	lead := sh.group.Leader()
+	for _, r := range sh.replicas {
+		if r.ts.URL == lead {
+			return r
+		}
+	}
+	t.Fatalf("no replica serves leader URL %s", lead)
+	return nil
+}
+
+// startShard launches n fleet-member registries wired as one replica
+// group: every replica runs a symmetric replicator listing its peers,
+// so whichever replica leads acknowledges a write only after the
+// others hold it durably.
+func startShard(t *testing.T, n int) *testShard {
+	t.Helper()
+	sh := &testShard{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := registry.NewServer()
+		srv.TrustReferences = true
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		sh.replicas = append(sh.replicas, &testReplica{srv: srv, ts: ts})
+		urls[i] = ts.URL
+	}
+	for i, r := range sh.replicas {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		r.rep = fleet.NewReplicator(r.srv.Blobs(), nil, peers...)
+		r.srv.SetCommitHook(r.rep)
+	}
+	g, err := fleet.NewShardGroup(urls[0], urls...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.group = g
+	return sh
+}
+
+// startFleet builds a proxy over shard groups of the given replica
+// counts and serves it.
+func startFleet(t *testing.T, replicaCounts ...int) (*fleet.Proxy, *httptest.Server, []*testShard) {
+	t.Helper()
+	var shards []*testShard
+	var groups []*fleet.ShardGroup
+	for _, n := range replicaCounts {
+		sh := startShard(t, n)
+		shards = append(shards, sh)
+		groups = append(groups, sh.group)
+	}
+	p, err := fleet.NewProxy(groups, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	return p, ts, shards
+}
+
+// fastClient returns a distrib client with short retry backoff.
+func fastClient(base string) *distrib.Client {
+	c := distrib.NewClient(base)
+	c.RetryBackoff = time.Millisecond
+	return c
+}
+
+// buildTestImage writes an image with the given layer payloads.
+func buildTestImage(t *testing.T, s *oci.Store, payloads ...string) oci.Descriptor {
+	t.Helper()
+	var layers []*fsim.FS
+	for i, p := range payloads {
+		l := fsim.New()
+		l.WriteFile(fmt.Sprintf("/data/l%d", i), []byte(p), 0o644)
+		layers = append(layers, l)
+	}
+	desc, err := oci.WriteImage(s, oci.ImageConfig{Architecture: "amd64", OS: "linux"}, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return desc
+}
+
+// manyPayloads returns n distinct layer payloads.
+func manyPayloads(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("layer payload %d with some bulk to shard around", i)
+	}
+	return out
+}
+
+// TestFleetPushPullSharded pushes an image through the proxy and
+// checks the blobs land on their ring-assigned shards, the manifest
+// and tag fan out to every shard, and a pull through the proxy
+// reassembles the image bit-for-bit.
+func TestFleetPushPullSharded(t *testing.T) {
+	p, ts, shards := startFleet(t, 1, 1, 1)
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, manyPayloads(8)...)
+	c := fastClient(ts.URL)
+	if err := c.PushImage(context.Background(), src, desc, "team/app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := make(map[string]*testShard)
+	for _, sh := range shards {
+		byName[sh.group.Name()] = sh
+	}
+	populated := 0
+	for _, sh := range shards {
+		if len(sh.replicas[0].srv.Blobs().Digests()) > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("blobs landed on %d shard(s); expected the ring to spread them", populated)
+	}
+	for _, d := range src.Digests() {
+		owner := byName[p.Ring().Owner(d)]
+		if !owner.replicas[0].srv.Blobs().Has(d) {
+			t.Fatalf("blob %s missing from its owning shard %s", d.Short(), p.Ring().Owner(d))
+		}
+	}
+	// Manifests and tags fan out to every shard: each can anchor its
+	// own GC roots and resolve the tag.
+	for i, sh := range shards {
+		if !sh.replicas[0].srv.Blobs().Has(desc.Digest) {
+			t.Fatalf("shard %d lacks the fanned-out manifest", i)
+		}
+		tags, err := fastClient(sh.replicas[0].ts.URL).ListTags(context.Background(), "team/app")
+		if err != nil || len(tags) != 1 || tags[0] != "v1" {
+			t.Fatalf("shard %d tags = %v, %v; want [v1]", i, tags, err)
+		}
+	}
+
+	tags, err := c.ListTags(context.Background(), "team/app")
+	if err != nil || len(tags) != 1 || tags[0] != "v1" {
+		t.Fatalf("proxy tags = %v, %v; want [v1]", tags, err)
+	}
+	dst := oci.NewStore()
+	got, err := c.PullImage(context.Background(), dst, "team/app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != desc.Digest {
+		t.Fatalf("pulled digest %s, want %s", got.Digest, desc.Digest)
+	}
+}
+
+// TestFleetReplicationAck checks the durability contract: once the
+// proxy acknowledges a push, every replica of the owning shard holds
+// every blob, and the leader's write log recorded the commits.
+func TestFleetReplicationAck(t *testing.T) {
+	_, ts, shards := startFleet(t, 2)
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, manyPayloads(4)...)
+	if err := fastClient(ts.URL).PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	sh := shards[0]
+	for _, d := range src.Digests() {
+		for i, r := range sh.replicas {
+			if !r.srv.Blobs().Has(d) {
+				t.Fatalf("replica %d missing blob %s after acknowledged push", i, d.Short())
+			}
+		}
+	}
+	if seq := sh.leaderReplica(t).rep.Log().LastSeq(); seq == 0 {
+		t.Fatal("leader write log is empty after acknowledged pushes")
+	}
+}
+
+// TestFleetPullThroughCache pulls the same image twice: the second
+// pull must be served from the proxy's cache without touching the
+// shards' blob endpoints.
+func TestFleetPullThroughCache(t *testing.T) {
+	p, ts, shards := startFleet(t, 1)
+	if err := p.SetCache(oci.NewStore(), 0); err != nil {
+		t.Fatal(err)
+	}
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, manyPayloads(3)...)
+	c := fastClient(ts.URL)
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// The push itself warms the cache, so even the first pull should
+	// avoid the shard.
+	counter := &blobGetCounter{}
+	shards[0].replicas[0].ts.Config.Handler = counter.wrap(shards[0].replicas[0].srv.Handler())
+
+	for i := 0; i < 2; i++ {
+		dst := oci.NewStore()
+		got, err := c.PullImage(context.Background(), dst, "app", "v1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != desc.Digest {
+			t.Fatalf("pull %d digest %s, want %s", i, got.Digest, desc.Digest)
+		}
+	}
+	if n := counter.gets.Load(); n != 0 {
+		t.Fatalf("cached pulls still issued %d blob GETs to the shard", n)
+	}
+	if hits, _ := p.CacheStats(); hits == 0 {
+		t.Fatal("cache recorded no hits across two pulls")
+	}
+}
+
+type blobGetCounter struct{ gets atomic.Int64 }
+
+func (c *blobGetCounter) wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && containsBlobPath(r.URL.Path) {
+			c.gets.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+func containsBlobPath(p string) bool {
+	return strings.Contains(p, "/blobs/") && !strings.Contains(p, "/uploads")
+}
+
+// TestFleetCacheBounded pushes more data than the cache capacity and
+// checks eviction keeps the cache within bounds while the fleet stays
+// authoritative for everything.
+func TestFleetCacheBounded(t *testing.T) {
+	p, ts, _ := startFleet(t, 1)
+	cache := oci.NewStore()
+	const capBytes = 3 * 1024
+	if err := p.SetCache(cache, capBytes); err != nil {
+		t.Fatal(err)
+	}
+	src := oci.NewStore()
+	var digests []digest.Digest
+	for i := 0; i < 6; i++ {
+		payload := make([]byte, 1024)
+		for j := range payload {
+			payload[j] = byte(i)
+		}
+		d, _, err := src.Ingest(bytes.NewReader(payload), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	c := fastClient(ts.URL)
+	for _, d := range digests {
+		if err := c.PushBlob(context.Background(), "app", src, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total int64
+	for _, d := range cache.Digests() {
+		rc, size, err := cache.Open(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+		total += size
+	}
+	if total > capBytes {
+		t.Fatalf("cache holds %d bytes, capacity %d", total, capBytes)
+	}
+	// Evicted blobs are still served (pull-through from the shard).
+	for _, d := range digests {
+		dst := oci.NewStore()
+		if err := c.FetchBlob(context.Background(), dst, "app", d); err != nil {
+			t.Fatalf("fetching %s after eviction: %v", d.Short(), err)
+		}
+	}
+}
+
+// TestFleetRedirectReads checks -redirect-reads: an uncached blob GET
+// answers with a 307 pointing at the owning shard's leader, and a
+// redirect-following client still gets the bytes.
+func TestFleetRedirectReads(t *testing.T) {
+	p, ts, shards := startFleet(t, 1)
+	p.RedirectReads = true
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, "one layer")
+	c := fastClient(ts.URL)
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for _, d := range src.Digests() {
+		resp, err := noFollow.Get(ts.URL + "/v2/app/blobs/" + string(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("blob GET status %d, want 307", resp.StatusCode)
+		}
+		want := shards[0].group.Leader() + "/v2/app/blobs/" + string(d)
+		if loc := resp.Header.Get("Location"); loc != want {
+			t.Fatalf("redirect location %s, want %s", loc, want)
+		}
+	}
+	dst := oci.NewStore()
+	got, err := c.PullImage(context.Background(), dst, "app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != desc.Digest {
+		t.Fatalf("redirected pull digest %s, want %s", got.Digest, desc.Digest)
+	}
+}
+
+// TestFleetTableResolver fetches the routing table and runs a
+// fleet-aware client against it: blob traffic goes straight to the
+// owning shards while only manifest and tag operations touch the
+// proxy.
+func TestFleetTableResolver(t *testing.T) {
+	p, ts, shards := startFleet(t, 1, 1, 1)
+	table, err := fleet.FetchTable(context.Background(), nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, err := table.Resolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*testShard)
+	for _, sh := range shards {
+		byName[sh.group.Name()] = sh
+	}
+
+	proxyBlobs := &blobTrafficCounter{}
+	ts.Config.Handler = proxyBlobs.wrap(p.Handler())
+
+	c := fastClient(ts.URL)
+	c.Resolver = resolve
+	src := oci.NewStore()
+	desc := buildTestImage(t, src, manyPayloads(5)...)
+	if err := c.PushImage(context.Background(), src, desc, "app", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	dst := oci.NewStore()
+	got, err := c.PullImage(context.Background(), dst, "app", "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != desc.Digest {
+		t.Fatalf("resolver pull digest %s, want %s", got.Digest, desc.Digest)
+	}
+	for _, d := range src.Digests() {
+		base, ok := resolve(d)
+		if !ok {
+			t.Fatalf("resolver has no endpoint for %s", d.Short())
+		}
+		if want := byName[p.Ring().Owner(d)].group.Leader(); base != want {
+			t.Fatalf("resolver sends %s to %s, ring owner's leader is %s", d.Short(), base, want)
+		}
+	}
+	if n := proxyBlobs.ops.Load(); n != 0 {
+		t.Fatalf("fleet-aware client still sent %d blob operations through the proxy", n)
+	}
+}
+
+type blobTrafficCounter struct{ ops atomic.Int64 }
+
+func (c *blobTrafficCounter) wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/blobs/") {
+			c.ops.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestGCRacesConcurrentPushThroughProxy hammers every shard with GC
+// while images are pushed through the proxy. The commit-grace pin
+// must keep blobs alive between their shard commit and the manifest
+// fan-out that makes them referenced, so every push that succeeded
+// pulls back intact.
+func TestGCRacesConcurrentPushThroughProxy(t *testing.T) {
+	_, ts, shards := startFleet(t, 1, 1)
+	c := fastClient(ts.URL)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, sh := range shards {
+				if _, err := sh.replicas[0].srv.GC(); err != nil {
+					t.Errorf("gc: %v", err)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond) // yield so pushes interleave with sweeps
+		}
+	}()
+
+	const images = 8
+	descs := make([]oci.Descriptor, images)
+	src := oci.NewStore()
+	for i := 0; i < images; i++ {
+		descs[i] = buildTestImage(t, src, fmt.Sprintf("racing layer %d", i), fmt.Sprintf("second racing layer %d", i))
+		if err := c.PushImage(context.Background(), src, descs[i], "app", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("push v%d during gc race: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// One more sweep each with everything referenced, then verify.
+	for _, sh := range shards {
+		if _, err := sh.replicas[0].srv.GC(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < images; i++ {
+		dst := oci.NewStore()
+		got, err := c.PullImage(context.Background(), dst, "app", fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatalf("pulling v%d after gc race: %v", i, err)
+		}
+		if got.Digest != descs[i].Digest {
+			t.Fatalf("v%d digest %s, want %s", i, got.Digest, descs[i].Digest)
+		}
+	}
+}

@@ -1,0 +1,924 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comtainer/internal/digest"
+	"comtainer/internal/distrib"
+	"comtainer/internal/oci"
+	"comtainer/internal/registry"
+)
+
+// TablePath is where the proxy serves its routing table.
+const TablePath = "/fleet/v1/table"
+
+// maxManifestSize bounds manifest documents on the fan-out path.
+const maxManifestSize = 16 << 20
+
+// maxBlobSize bounds a single proxied blob upload.
+const maxBlobSize = int64(1) << 30
+
+// DefaultHeartbeatMisses is how many consecutive failed leader pings
+// Watch tolerates before promoting a follower.
+const DefaultHeartbeatMisses = 2
+
+// Proxy is the stateless fleet front-end: it speaks the OCI
+// distribution API, routes every blob operation to the shard group
+// owning the digest (with failover promotion when a leader dies
+// mid-request), fans manifest and tag operations out to every shard,
+// and optionally pull-through caches blobs in a bounded local store.
+// Holding no state a restart can lose — upload sessions aside, which
+// clients simply restart — any number of proxies can front the same
+// shard fleet.
+type Proxy struct {
+	// HTTP carries proxy-to-shard traffic (defaults to
+	// http.DefaultClient); tests inject fault transports here.
+	HTTP *http.Client
+	// FarmBackend, when set, is a scheduler base URL that /farm/v1
+	// requests are forwarded to, so build-farm workers and executors
+	// point their single endpoint at the proxy and get routed blob
+	// traffic for free.
+	FarmBackend string
+	// RedirectReads answers uncached blob GETs with a 307 to the
+	// owning shard leader instead of streaming through the proxy,
+	// taking the proxy out of the read data path entirely.
+	RedirectReads bool
+	// HeartbeatMisses overrides DefaultHeartbeatMisses when > 0.
+	HeartbeatMisses int
+
+	ring    *Ring
+	groups  map[string]*ShardGroup
+	order   []string // sorted group names
+	uploads *distrib.UploadManager
+
+	cacheMu    sync.Mutex
+	cache      distrib.Store
+	cacheCap   int64
+	cacheTotal int64
+	cacheOrder []digest.Digest // LRU: oldest first
+	cacheSize  map[digest.Digest]int64
+
+	clientMu sync.Mutex
+	clients  map[string]*distrib.Client
+
+	cacheHits, cacheMisses atomic.Int64
+}
+
+// NewProxy returns a proxy over the given shard groups, building the
+// ring from their names with vnodes virtual nodes per shard
+// (DefaultVnodes when <= 0).
+func NewProxy(groups []*ShardGroup, vnodes int) (*Proxy, error) {
+	names := make([]string, 0, len(groups))
+	byName := make(map[string]*ShardGroup, len(groups))
+	for _, g := range groups {
+		if _, dup := byName[g.Name()]; dup {
+			return nil, fmt.Errorf("fleet: duplicate shard group %q", g.Name())
+		}
+		names = append(names, g.Name())
+		byName[g.Name()] = g
+	}
+	ring, err := NewRing(names, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return &Proxy{
+		ring:    ring,
+		groups:  byName,
+		order:   names,
+		uploads: distrib.NewUploadManager(""),
+	}, nil
+}
+
+// Ring exposes the proxy's routing ring.
+func (p *Proxy) Ring() *Ring { return p.ring }
+
+// SetCache mounts a bounded pull-through cache: blobs fetched from
+// shards are kept in store and evicted least-recently-used once the
+// total exceeds capBytes (0 = unbounded). Existing store content is
+// adopted into the accounting, so a disk-backed cache survives proxy
+// restarts.
+func (p *Proxy) SetCache(store distrib.Store, capBytes int64) error {
+	// Size the existing contents before taking the lock: adoption is
+	// disk I/O and must not run inside the critical section.
+	var order []digest.Digest
+	sizes := make(map[digest.Digest]int64)
+	var total int64
+	if store != nil {
+		for _, d := range store.Digests() {
+			rc, size, err := store.Open(d)
+			if err != nil {
+				return fmt.Errorf("fleet: adopting cache blob %s: %w", d.Short(), err)
+			}
+			rc.Close()
+			order = append(order, d)
+			sizes[d] = size
+			total += size
+		}
+	}
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	p.cache = store
+	p.cacheCap = capBytes
+	p.cacheTotal = total
+	p.cacheOrder = order
+	p.cacheSize = sizes
+	if store != nil {
+		p.evictLocked()
+	}
+	return nil
+}
+
+// CacheStats returns pull-through cache hit/miss counters.
+func (p *Proxy) CacheStats() (hits, misses int64) {
+	return p.cacheHits.Load(), p.cacheMisses.Load()
+}
+
+// cacheHas reports (and LRU-touches) a cached blob.
+func (p *Proxy) cacheHas(d digest.Digest) bool {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if p.cache == nil || !p.cache.Has(d) {
+		return false
+	}
+	for i, o := range p.cacheOrder {
+		if o == d {
+			p.cacheOrder = append(append(p.cacheOrder[:i:i], p.cacheOrder[i+1:]...), d)
+			break
+		}
+	}
+	return true
+}
+
+// cacheAdd copies blob d from src into the cache, evicting LRU
+// entries beyond capacity. Best-effort: a cache failure never fails
+// the request that triggered it. The copy runs outside the lock —
+// ingestion is content-addressed, so a concurrent add of the same
+// digest is harmless and noteFetched deduplicates the accounting.
+func (p *Proxy) cacheAdd(src distrib.BlobSource, d digest.Digest) {
+	store := p.cacheStore()
+	if store == nil || store.Has(d) {
+		return
+	}
+	rc, _, err := src.Open(d)
+	if err != nil {
+		return
+	}
+	_, _, err = store.Ingest(rc, d)
+	rc.Close()
+	if err != nil {
+		return
+	}
+	p.noteFetched(d)
+}
+
+// evictLocked drops least-recently-used entries until the cache fits
+// its capacity. Callers hold cacheMu.
+func (p *Proxy) evictLocked() {
+	if p.cacheCap <= 0 {
+		return
+	}
+	for p.cacheTotal > p.cacheCap && len(p.cacheOrder) > 0 {
+		victim := p.cacheOrder[0]
+		p.cacheOrder = p.cacheOrder[1:]
+		if err := p.cache.Delete(victim); err != nil {
+			return
+		}
+		p.cacheTotal -= p.cacheSize[victim]
+		delete(p.cacheSize, victim)
+	}
+}
+
+// groupFor returns the shard group owning blob d.
+func (p *Proxy) groupFor(d digest.Digest) *ShardGroup {
+	return p.groups[p.ring.Owner(d)]
+}
+
+// groupsFrom returns every group, starting at the owner of key —
+// the deterministic primary for fanned-out resources (manifests,
+// tags), with the rest as fallbacks.
+func (p *Proxy) groupsFrom(key string) []*ShardGroup {
+	owner := p.ring.OwnerKey(key)
+	out := make([]*ShardGroup, 0, len(p.order))
+	out = append(out, p.groups[owner])
+	for _, n := range p.order {
+		if n != owner {
+			out = append(out, p.groups[n])
+		}
+	}
+	return out
+}
+
+func (p *Proxy) httpClient() *http.Client {
+	if p.HTTP != nil {
+		return p.HTTP
+	}
+	return http.DefaultClient
+}
+
+// clientFor returns a (cached) distrib client for one replica. Low
+// retry budget: failover to the next replica beats retrying a dead
+// one.
+func (p *Proxy) clientFor(base string) *distrib.Client {
+	p.clientMu.Lock()
+	defer p.clientMu.Unlock()
+	if c, ok := p.clients[base]; ok {
+		return c
+	}
+	c := distrib.NewClient(base)
+	c.HTTP = p.httpClient()
+	c.Retries = 1
+	if p.clients == nil {
+		p.clients = make(map[string]*distrib.Client)
+	}
+	p.clients[base] = c
+	return c
+}
+
+// withGroup runs fn against the group's current leader, promoting
+// the next replica and retrying on failure until every replica has
+// been tried once. fn must be idempotent (all fleet writes are:
+// content-addressed blobs and same-bytes manifest PUTs).
+func (p *Proxy) withGroup(g *ShardGroup, fn func(base string) error) error {
+	leader := g.Leader()
+	var err error
+	for range g.Replicas() {
+		err = fn(leader)
+		if err == nil || distrib.IsNotFound(err) {
+			return err
+		}
+		leader = g.promoteFrom(leader)
+	}
+	return fmt.Errorf("fleet: shard %s has no usable replica: %w", g.Name(), err)
+}
+
+// Handler returns the proxy's HTTP surface: the /v2/ distribution
+// API, the routing table, and (when configured) the forwarded farm
+// control plane.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/", p.route)
+	mux.HandleFunc(TablePath, p.serveTable)
+	if p.FarmBackend != "" {
+		mux.HandleFunc("/farm/", p.forwardFarm)
+	}
+	return mux
+}
+
+// route dispatches /v2/<name>/(manifests|blobs|blobs/uploads)/<ref>,
+// mirroring the registry's router so existing clients work unchanged.
+func (p *Proxy) route(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v2/")
+	if rest == "" {
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if strings.HasSuffix(rest, "/tags/list") && r.Method == http.MethodGet {
+		p.listTags(w, r, strings.TrimSuffix(rest, "/tags/list"))
+		return
+	}
+	var name, kind, ref string
+	for _, k := range []string{"/manifests/", "/blobs/"} {
+		if i := strings.LastIndex(rest, k); i >= 0 {
+			name, kind, ref = rest[:i], strings.Trim(k, "/"), rest[i+len(k):]
+			break
+		}
+	}
+	if name == "" || (ref == "" && !strings.HasSuffix(rest, "/blobs/uploads/")) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if kind == "manifests" {
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			p.getManifest(w, r, name, ref)
+		case http.MethodPut:
+			p.putManifest(w, r, name, ref)
+		default:
+			http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+		}
+		return
+	}
+	if id, ok := strings.CutPrefix(ref, "uploads"); ok {
+		id = strings.TrimPrefix(id, "/")
+		p.routeUpload(w, r, name, id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		p.getBlob(w, r, name, ref)
+	case http.MethodHead:
+		p.headBlob(w, r, name, ref)
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+	}
+}
+
+// --- blob reads ---
+
+func (p *Proxy) getBlob(w http.ResponseWriter, r *http.Request, name, ref string) {
+	d, err := digest.Parse(ref)
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	g := p.groupFor(d)
+	if p.cacheHas(d) {
+		p.cacheHits.Add(1)
+		registry.ServeBlob(w, r, p.cacheStore(), d)
+		return
+	}
+	p.cacheMisses.Add(1)
+	if p.RedirectReads {
+		http.Redirect(w, r, g.Leader()+"/v2/"+name+"/blobs/"+string(d), http.StatusTemporaryRedirect)
+		return
+	}
+	if p.cacheStore() != nil {
+		// Pull-through: fetch into the cache (verified), serve from it.
+		staging := p.cacheStore()
+		err := p.withGroup(g, func(base string) error {
+			return p.clientFor(base).FetchBlob(r.Context(), staging, name, d)
+		})
+		if err != nil {
+			p.proxyError(w, err)
+			return
+		}
+		p.noteFetched(d)
+		registry.ServeBlob(w, r, staging, d)
+		return
+	}
+	p.forwardBlob(w, r, g, "/v2/"+name+"/blobs/"+string(d))
+}
+
+// cacheStore returns the mounted cache store (nil when none).
+func (p *Proxy) cacheStore() distrib.Store {
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	return p.cache
+}
+
+// noteFetched records a blob ingested directly into the cache store
+// (by FetchBlob or cacheAdd), folding it into the LRU accounting. The
+// size probe happens before the lock; a blob another goroutine already
+// accounted for (or evicted meanwhile) is skipped by the known-check.
+func (p *Proxy) noteFetched(d digest.Digest) {
+	store := p.cacheStore()
+	if store == nil {
+		return
+	}
+	rc, size, err := store.Open(d)
+	if err != nil {
+		return
+	}
+	rc.Close()
+	p.cacheMu.Lock()
+	defer p.cacheMu.Unlock()
+	if p.cache == nil {
+		return
+	}
+	if _, known := p.cacheSize[d]; known {
+		return
+	}
+	p.cacheOrder = append(p.cacheOrder, d)
+	p.cacheSize[d] = size
+	p.cacheTotal += size
+	p.evictLocked()
+}
+
+func (p *Proxy) headBlob(w http.ResponseWriter, r *http.Request, name, ref string) {
+	d, err := digest.Parse(ref)
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	if p.cacheHas(d) {
+		store := p.cacheStore()
+		rc, size, err := store.Open(d)
+		if err == nil {
+			rc.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Docker-Content-Digest", string(d))
+			w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+	}
+	p.forwardBlob(w, r, p.groupFor(d), "/v2/"+name+"/blobs/"+string(d))
+}
+
+// forwardBlob relays a blob GET/HEAD to the owning group with
+// failover, streaming the response through.
+func (p *Proxy) forwardBlob(w http.ResponseWriter, r *http.Request, g *ShardGroup, path string) {
+	err := p.withGroup(g, func(base string) error {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, base+path, nil)
+		if err != nil {
+			return err
+		}
+		if rng := r.Header.Get("Range"); rng != "" {
+			req.Header.Set("Range", rng)
+		}
+		resp, err := p.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("fleet: %s %s: status %s: %s", r.Method, base+path, resp.Status, strings.TrimSpace(string(msg)))
+		}
+		relayResponse(w, resp)
+		return nil
+	})
+	if err != nil {
+		p.proxyError(w, err)
+	}
+}
+
+// relayResponse copies a shard response (status, distribution
+// headers, body) to the client verbatim.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{
+		"Content-Type", "Content-Length", "Content-Range",
+		"Docker-Content-Digest", "Accept-Ranges", "Location",
+		"Docker-Upload-UUID", "Range",
+	} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// proxyError maps a routed-request failure onto the client response:
+// a definitive 404 from the shard passes through, everything else is
+// a 502 the client's retry logic treats as transient.
+func (p *Proxy) proxyError(w http.ResponseWriter, err error) {
+	if distrib.IsNotFound(err) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadGateway)
+}
+
+// --- blob uploads ---
+
+// routeUpload implements the upload-session protocol proxy-side: the
+// session accumulates locally, and the finalizing PUT pushes the
+// complete verified blob to the owning shard — the client's 201 is
+// issued only after the shard leader (and, through its replication
+// hook, every follower) has acknowledged durably.
+func (p *Proxy) routeUpload(w http.ResponseWriter, r *http.Request, name, id string) {
+	if id == "" {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Query().Get("digest") == "":
+			u, err := p.uploads.Start(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Location", "/v2/"+name+"/blobs/uploads/"+u.ID)
+			w.Header().Set("Docker-Upload-UUID", u.ID)
+			w.Header().Set("Range", "0-0")
+			w.WriteHeader(http.StatusAccepted)
+		case r.URL.Query().Get("digest") != "":
+			p.putBlobMonolithic(w, r, name)
+		default:
+			http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+		}
+		return
+	}
+	u, ok := p.uploads.Get(id)
+	if !ok {
+		http.Error(w, "upload unknown", http.StatusNotFound)
+		return
+	}
+	switch r.Method {
+	case http.MethodPatch:
+		expectStart := int64(-1)
+		if cr := r.Header.Get("Content-Range"); cr != "" {
+			start, _, ok := strings.Cut(strings.TrimPrefix(cr, "bytes "), "-")
+			n, err := strconv.ParseInt(start, 10, 64)
+			if !ok || err != nil || n < 0 {
+				http.Error(w, "malformed Content-Range", http.StatusBadRequest)
+				return
+			}
+			expectStart = n
+		}
+		size, err := u.Append(r.Body, expectStart)
+		w.Header().Set("Docker-Upload-UUID", u.ID)
+		w.Header().Set("Range", uploadRange(size))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	case http.MethodPut:
+		if r.ContentLength != 0 {
+			if _, err := u.Append(r.Body, -1); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		want, err := digest.Parse(r.URL.Query().Get("digest"))
+		if err != nil {
+			http.Error(w, "invalid digest", http.StatusBadRequest)
+			return
+		}
+		staging := oci.NewStore()
+		d, _, err := p.uploads.Commit(u, staging, want)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := p.pushToShard(r.Context(), staging, name, d); err != nil {
+			p.proxyError(w, err)
+			return
+		}
+		w.Header().Set("Location", "/v2/"+name+"/blobs/"+string(d))
+		w.Header().Set("Docker-Content-Digest", string(d))
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		w.Header().Set("Docker-Upload-UUID", u.ID)
+		w.Header().Set("Range", uploadRange(u.Size()))
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodDelete:
+		p.uploads.Cancel(u)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+	}
+}
+
+// uploadRange renders the session Range header ("0-0" when empty).
+func uploadRange(size int64) string {
+	if size <= 0 {
+		return "0-0"
+	}
+	return fmt.Sprintf("0-%d", size-1)
+}
+
+func (p *Proxy) putBlobMonolithic(w http.ResponseWriter, r *http.Request, name string) {
+	want, err := digest.Parse(r.URL.Query().Get("digest"))
+	if err != nil {
+		http.Error(w, "invalid digest", http.StatusBadRequest)
+		return
+	}
+	staging := oci.NewStore()
+	d, _, err := staging.Ingest(io.LimitReader(r.Body, maxBlobSize), want)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := p.pushToShard(r.Context(), staging, name, d); err != nil {
+		p.proxyError(w, err)
+		return
+	}
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.WriteHeader(http.StatusCreated)
+}
+
+// pushToShard pushes a staged blob to its owning shard group (with
+// failover) and warms the pull-through cache with it.
+func (p *Proxy) pushToShard(ctx context.Context, staging distrib.BlobSource, name string, d digest.Digest) error {
+	g := p.groupFor(d)
+	err := p.withGroup(g, func(base string) error {
+		return p.clientFor(base).PushBlob(ctx, name, staging, d)
+	})
+	if err != nil {
+		return err
+	}
+	p.cacheAdd(staging, d)
+	return nil
+}
+
+// --- manifests and tags ---
+
+// blobExists answers the fleet-wide referential check: the cache or
+// the owning shard group holds d.
+func (p *Proxy) blobExists(ctx context.Context, d digest.Digest) (bool, error) {
+	if p.cacheHas(d) {
+		return true, nil
+	}
+	g := p.groupFor(d)
+	var found bool
+	err := p.withGroup(g, func(base string) error {
+		ok, err := p.clientFor(base).HasBlob(ctx, "fleet", d)
+		if err != nil {
+			return err
+		}
+		found = ok
+		return nil
+	})
+	return found, err
+}
+
+// putManifest performs the fleet-wide referential check and fans the
+// manifest out to every shard group, so any shard can resolve tags
+// and anchor its own GC roots. Acknowledged only once every group
+// holds it.
+func (p *Proxy) putManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxManifestSize))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	var refs struct {
+		Config    *oci.Descriptor  `json:"config"`
+		Layers    []oci.Descriptor `json:"layers"`
+		Manifests []oci.Descriptor `json:"manifests"`
+	}
+	if err := json.Unmarshal(body, &refs); err != nil {
+		http.Error(w, "manifest is not valid JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var referenced []oci.Descriptor
+	if refs.Config != nil && refs.Config.Digest != "" {
+		referenced = append(referenced, *refs.Config)
+	}
+	referenced = append(referenced, refs.Layers...)
+	referenced = append(referenced, refs.Manifests...)
+	for _, rd := range referenced {
+		ok, err := p.blobExists(r.Context(), rd.Digest)
+		if err != nil {
+			p.proxyError(w, err)
+			return
+		}
+		if !ok {
+			http.Error(w, fmt.Sprintf("manifest references missing blob %s", rd.Digest), http.StatusBadRequest)
+			return
+		}
+	}
+	d := digest.FromBytes(body)
+	if want, err := digest.Parse(ref); err == nil && want != d {
+		http.Error(w, fmt.Sprintf("manifest digest mismatch: content is %s, ref is %s", d, want), http.StatusBadRequest)
+		return
+	}
+	mediaType := r.Header.Get("Content-Type")
+	if mediaType == "" {
+		mediaType = oci.MediaTypeManifest
+		if len(refs.Manifests) > 0 {
+			mediaType = oci.MediaTypeIndex
+		}
+	}
+	for _, name2 := range p.order {
+		g := p.groups[name2]
+		err := p.withGroup(g, func(base string) error {
+			return putManifestTo(r.Context(), p.httpClient(), base, name, ref, mediaType, body)
+		})
+		if err != nil {
+			p.proxyError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Location", "/v2/"+name+"/manifests/"+string(d))
+	w.Header().Set("Docker-Content-Digest", string(d))
+	w.WriteHeader(http.StatusCreated)
+}
+
+// getManifest serves manifest GET/HEAD. Manifests are fanned out to
+// every shard, so the owner of "name:ref" is just the deterministic
+// first stop; any healthy group can answer.
+func (p *Proxy) getManifest(w http.ResponseWriter, r *http.Request, name, ref string) {
+	var lastErr error
+	for _, g := range p.groupsFrom(name + ":" + ref) {
+		err := p.withGroup(g, func(base string) error {
+			req, err := http.NewRequestWithContext(r.Context(), r.Method, base+"/v2/"+name+"/manifests/"+ref, nil)
+			if err != nil {
+				return err
+			}
+			if acc := r.Header.Get("Accept"); acc != "" {
+				req.Header.Set("Accept", acc)
+			}
+			resp, err := p.httpClient().Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				if resp.StatusCode == http.StatusNotFound {
+					return notFoundErr(base, strings.TrimSpace(string(msg)))
+				}
+				return fmt.Errorf("fleet: GET %s: status %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
+			}
+			relayResponse(w, resp)
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		lastErr = err
+		if distrib.IsNotFound(err) {
+			// Every shard holds every manifest: the owner's definitive
+			// 404 is the fleet's answer.
+			break
+		}
+	}
+	p.proxyError(w, lastErr)
+}
+
+// listTags relays the tags/list endpoint; refs are fanned out, so the
+// first healthy group answers for the fleet.
+func (p *Proxy) listTags(w http.ResponseWriter, r *http.Request, name string) {
+	var lastErr error
+	for _, g := range p.groupsFrom(name) {
+		err := p.withGroup(g, func(base string) error {
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/v2/"+name+"/tags/list", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := p.httpClient().Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("fleet: GET tags %s: status %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
+			}
+			relayResponse(w, resp)
+			return nil
+		})
+		if err == nil {
+			return
+		}
+		lastErr = err
+	}
+	p.proxyError(w, lastErr)
+}
+
+// notFoundErr fabricates a distrib-recognizable 404 so failover and
+// pass-through logic can classify it.
+func notFoundErr(url, msg string) error {
+	return &notFoundError{url: url, msg: msg}
+}
+
+type notFoundError struct{ url, msg string }
+
+func (e *notFoundError) Error() string {
+	return fmt.Sprintf("fleet: %s: not found: %s", e.url, e.msg)
+}
+
+// --- farm forwarding ---
+
+// forwardFarm relays /farm/v1 control-plane requests to the
+// configured scheduler so workers and executors need only the proxy
+// URL.
+func (p *Proxy) forwardFarm(w http.ResponseWriter, r *http.Request) {
+	url := strings.TrimRight(p.FarmBackend, "/") + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := p.httpClient().Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// --- routing table ---
+
+// Table is the proxy's shareable routing view: the ring membership
+// (stable encoding) plus each shard's current leader. A fleet-aware
+// distrib.Client resolves blob endpoints from it and talks to shards
+// directly, leaving only manifest fan-out on the proxy.
+type Table struct {
+	Vnodes  int               `json:"vnodes"`
+	Shards  []string          `json:"shards"`
+	Leaders map[string]string `json:"leaders"`
+}
+
+// Resolver compiles the table into a distrib.Client Resolver.
+func (t Table) Resolver() (func(digest.Digest) (string, bool), error) {
+	ring, err := NewRing(t.Shards, t.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	leaders := make(map[string]string, len(t.Leaders))
+	for k, v := range t.Leaders {
+		leaders[k] = v
+	}
+	return func(d digest.Digest) (string, bool) {
+		addr, ok := leaders[ring.Owner(d)]
+		return addr, ok
+	}, nil
+}
+
+// Table snapshots the proxy's current routing table.
+func (p *Proxy) Table() Table {
+	t := Table{Vnodes: p.ring.Vnodes(), Shards: p.ring.Shards(), Leaders: make(map[string]string, len(p.groups))}
+	for name, g := range p.groups {
+		t.Leaders[name] = g.Leader()
+	}
+	return t
+}
+
+func (p *Proxy) serveTable(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(p.Table())
+}
+
+// FetchTable retrieves the routing table from a proxy at base.
+func FetchTable(ctx context.Context, hc *http.Client, base string) (Table, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+TablePath, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Table{}, fmt.Errorf("fleet: fetching table: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Table{}, fmt.Errorf("fleet: fetching table: status %s", resp.Status)
+	}
+	var t Table
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return Table{}, fmt.Errorf("fleet: decoding table: %w", err)
+	}
+	return t, nil
+}
+
+// --- heartbeat watch ---
+
+// Watch pings every shard leader at interval until ctx is done,
+// promoting a group's next replica after HeartbeatMisses consecutive
+// failures — failover for idle fleets, complementing the immediate
+// request-path promotion in withGroup.
+func (p *Proxy) Watch(ctx context.Context, interval time.Duration) {
+	for {
+		if err := sleepCtx(ctx, interval); err != nil {
+			return
+		}
+		p.CheckLeaders(ctx, interval)
+	}
+}
+
+// CheckLeaders performs one heartbeat round: each group's current
+// leader is pinged (bounded by timeout) and promoted past after
+// HeartbeatMisses consecutive losses.
+func (p *Proxy) CheckLeaders(ctx context.Context, timeout time.Duration) {
+	misses := p.HeartbeatMisses
+	if misses <= 0 {
+		misses = DefaultHeartbeatMisses
+	}
+	for _, name := range p.order {
+		g := p.groups[name]
+		leader := g.Leader()
+		pctx, cancel := context.WithTimeout(ctx, timeout)
+		err := p.clientFor(leader).Ping(pctx)
+		cancel()
+		if err == nil {
+			g.noteBeat(leader)
+			continue
+		}
+		if g.noteMiss(leader) >= misses {
+			g.promoteFrom(leader)
+		}
+	}
+}
+
+// sleepCtx waits for d or until ctx is done — the cancellation-aware
+// replacement for time.Sleep on periodic paths.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"comtainer/internal/digest"
@@ -29,11 +30,49 @@ import (
 // (streamed to the store, never buffered whole).
 const maxManifestSize = 16 << 20
 
+// DefaultGCGrace is how long a freshly committed blob is protected
+// from GC even while unreferenced — long enough for the push that
+// committed it to finish uploading siblings and register the manifest.
+const DefaultGCGrace = time.Minute
+
+// CommitHook observes committed writes before they are acknowledged.
+// A fleet shard leader mounts one to replicate every commit to its
+// followers: the handler only responds 201 once the hook returns nil,
+// so an acknowledged write is durable on the follower too. A hook
+// error turns into a 503 (and the just-ingested blob is rolled back
+// when this request introduced it), so clients retry rather than
+// treat an unreplicated write as pushed.
+type CommitHook interface {
+	// BlobCommitted runs after blob d landed in the store.
+	BlobCommitted(ctx context.Context, d digest.Digest) error
+	// ManifestCommitted runs after a manifest blob landed, before the
+	// tag (if any) is registered locally. body is the manifest
+	// document, ref the reference it was pushed under (tag or digest).
+	ManifestCommitted(ctx context.Context, name, ref, mediaType string, body []byte) error
+}
+
 // Server is an OCI registry over a pluggable blob and tag store.
 type Server struct {
+	// TrustReferences skips the referenced-blobs-present check on
+	// manifest PUTs. Fleet shards run with it set: blobs are
+	// partitioned across shards by digest while manifests are fanned
+	// out to every shard, so the fleet-wide referential check belongs
+	// to the proxy, not the individual shard.
+	TrustReferences bool
+	// GCGrace is how long a freshly committed blob survives GC even
+	// while unreferenced (DefaultGCGrace when zero; negative disables
+	// the protection entirely).
+	GCGrace time.Duration
+
 	blobs   distrib.Store
 	refs    distrib.TagStore
 	uploads *distrib.UploadManager
+
+	hookMu sync.Mutex
+	hook   CommitHook
+
+	recentMu sync.Mutex
+	recent   map[digest.Digest]time.Time
 }
 
 // NewServer returns an in-memory registry server.
@@ -79,6 +118,71 @@ func NewServerWith(blobs distrib.Store, refs distrib.TagStore) *Server {
 // Blobs exposes the mounted blob store (for inspection and GC).
 func (s *Server) Blobs() distrib.Store { return s.blobs }
 
+// SetCommitHook installs (or, with nil, removes) the commit hook.
+// Safe to call while the server is handling requests.
+func (s *Server) SetCommitHook(h CommitHook) {
+	s.hookMu.Lock()
+	s.hook = h
+	s.hookMu.Unlock()
+}
+
+func (s *Server) commitHook() CommitHook {
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	return s.hook
+}
+
+// replicated reports whether the request is intra-fleet replication
+// traffic, which must not re-enter the commit hook.
+func replicated(r *http.Request) bool {
+	return r.Header.Get(distrib.ReplicatedHeader) != ""
+}
+
+func (s *Server) gcGrace() time.Duration {
+	switch {
+	case s.GCGrace > 0:
+		return s.GCGrace
+	case s.GCGrace < 0:
+		return 0
+	}
+	return DefaultGCGrace
+}
+
+// noteCommit pins d against GC for the grace window and sweeps pins
+// that have aged out.
+func (s *Server) noteCommit(d digest.Digest) {
+	grace := s.gcGrace()
+	if grace <= 0 {
+		return
+	}
+	now := time.Now()
+	s.recentMu.Lock()
+	if s.recent == nil {
+		s.recent = make(map[digest.Digest]time.Time)
+	}
+	cutoff := now.Add(-grace)
+	for old, at := range s.recent {
+		if at.Before(cutoff) {
+			delete(s.recent, old)
+		}
+	}
+	s.recent[d] = now
+	s.recentMu.Unlock()
+}
+
+// recentlyCommitted reports whether d is still inside its GC grace
+// window.
+func (s *Server) recentlyCommitted(d digest.Digest) bool {
+	grace := s.gcGrace()
+	if grace <= 0 {
+		return false
+	}
+	s.recentMu.Lock()
+	at, ok := s.recent[d]
+	s.recentMu.Unlock()
+	return ok && time.Since(at) < grace
+}
+
 // SetUploadTTL bounds how long an idle upload session (and its spool
 // file) survives; zero disables expiry. See distrib.UploadManager.
 func (s *Server) SetUploadTTL(d time.Duration) { s.uploads.TTL = d }
@@ -120,13 +224,16 @@ func (s *Server) Fsck(repair bool) (distrib.FsckReport, []string, error) {
 }
 
 // GC deletes every blob unreachable from the currently tagged
-// manifests and manifest lists, returning the number dropped.
+// manifests and manifest lists, returning the number dropped. Blobs
+// committed within GCGrace survive even while unreferenced, so a
+// sweep racing an in-flight push never collects a blob between its
+// commit and the manifest's ref registration.
 func (s *Server) GC() (int, error) {
 	var roots []oci.Descriptor
 	for _, desc := range s.refs.All() {
 		roots = append(roots, desc)
 	}
-	return distrib.GC(s.blobs, roots)
+	return distrib.GCProtected(s.blobs, roots, s.recentlyCommitted)
 }
 
 // Handler returns the HTTP handler implementing the distribution API.
@@ -312,14 +419,44 @@ func (s *Server) putUpload(w http.ResponseWriter, r *http.Request, name string, 
 		http.Error(w, "invalid digest", http.StatusBadRequest)
 		return
 	}
+	had := s.blobs.Has(want)
 	d, _, err := s.uploads.Commit(u, s.blobs, want)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if !s.afterBlobCommit(w, r, d, had) {
+		return
+	}
 	w.Header().Set("Location", "/v2/"+name+"/blobs/"+string(d))
 	w.Header().Set("Docker-Content-Digest", string(d))
 	w.WriteHeader(http.StatusCreated)
+}
+
+// afterBlobCommit runs the post-commit bookkeeping shared by both
+// upload paths: pin the blob against GC and replicate it through the
+// commit hook. On hook failure the response is a 503 and, when this
+// request introduced the blob, the local copy is rolled back — so a
+// retried push re-uploads and re-replicates instead of short-
+// circuiting on the HEAD dedup probe. Returns false when the response
+// has been written.
+func (s *Server) afterBlobCommit(w http.ResponseWriter, r *http.Request, d digest.Digest, had bool) bool {
+	s.noteCommit(d)
+	hook := s.commitHook()
+	if hook == nil || replicated(r) {
+		return true
+	}
+	if err := hook.BlobCommitted(r.Context(), d); err != nil {
+		msg := "replication failed: " + err.Error()
+		if !had {
+			if derr := s.blobs.Delete(d); derr != nil {
+				msg += " (rollback failed: " + derr.Error() + ")"
+			}
+		}
+		http.Error(w, msg, http.StatusServiceUnavailable)
+		return false
+	}
+	return true
 }
 
 // putBlobMonolithic is the legacy single-request upload: the whole
@@ -330,9 +467,13 @@ func (s *Server) putBlobMonolithic(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid digest", http.StatusBadRequest)
 		return
 	}
+	had := s.blobs.Has(want)
 	d, _, err := s.blobs.Ingest(io.LimitReader(contextReader{r.Context(), r.Body}, 1<<30), want)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.afterBlobCommit(w, r, d, had) {
 		return
 	}
 	w.Header().Set("Docker-Content-Digest", string(d))
@@ -347,7 +488,15 @@ func (s *Server) getBlob(w http.ResponseWriter, r *http.Request, ref string) {
 		http.Error(w, "invalid digest", http.StatusBadRequest)
 		return
 	}
-	body, size, err := s.blobs.Open(d)
+	ServeBlob(w, r, s.blobs, d)
+}
+
+// ServeBlob streams blob d from src with distribution-API headers,
+// honoring single-range HTTP Range requests ("bytes=a-b" /
+// "bytes=a-") with 206 responses. Shared by the registry's blob GET
+// and the fleet proxy's cache-hit path.
+func ServeBlob(w http.ResponseWriter, r *http.Request, src distrib.BlobSource, d digest.Digest) {
+	body, size, err := src.Open(d)
 	if err != nil {
 		http.Error(w, "blob unknown", http.StatusNotFound)
 		return
@@ -482,16 +631,18 @@ func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref s
 		http.Error(w, "manifest is not valid JSON: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	var referenced []oci.Descriptor
-	if refs.Config != nil && refs.Config.Digest != "" {
-		referenced = append(referenced, *refs.Config)
-	}
-	referenced = append(referenced, refs.Layers...)
-	referenced = append(referenced, refs.Manifests...)
-	for _, rd := range referenced {
-		if !s.blobs.Has(rd.Digest) {
-			http.Error(w, fmt.Sprintf("manifest references missing blob %s", rd.Digest), http.StatusBadRequest)
-			return
+	if !s.TrustReferences {
+		var referenced []oci.Descriptor
+		if refs.Config != nil && refs.Config.Digest != "" {
+			referenced = append(referenced, *refs.Config)
+		}
+		referenced = append(referenced, refs.Layers...)
+		referenced = append(referenced, refs.Manifests...)
+		for _, rd := range referenced {
+			if !s.blobs.Has(rd.Digest) {
+				http.Error(w, fmt.Sprintf("manifest references missing blob %s", rd.Digest), http.StatusBadRequest)
+				return
+			}
 		}
 	}
 	d := digest.FromBytes(body)
@@ -502,15 +653,33 @@ func (s *Server) putManifest(w http.ResponseWriter, r *http.Request, name, ref s
 			return
 		}
 	}
+	had := s.blobs.Has(d)
 	if _, _, err := s.blobs.Ingest(strings.NewReader(string(body)), d); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.noteCommit(d)
 	mediaType := r.Header.Get("Content-Type")
 	if mediaType == "" {
 		mediaType = oci.MediaTypeManifest
 		if len(refs.Manifests) > 0 {
 			mediaType = oci.MediaTypeIndex
+		}
+	}
+	// Replicate before registering the tag locally: an acknowledged
+	// manifest must exist on the followers, and a follower promoted
+	// after a mid-PUT leader crash may hold a ref the dead leader never
+	// recorded — safe, since only acknowledged state must survive.
+	if hook := s.commitHook(); hook != nil && !replicated(r) {
+		if err := hook.ManifestCommitted(r.Context(), name, ref, mediaType, body); err != nil {
+			msg := "replication failed: " + err.Error()
+			if !had {
+				if derr := s.blobs.Delete(d); derr != nil {
+					msg += " (rollback failed: " + derr.Error() + ")"
+				}
+			}
+			http.Error(w, msg, http.StatusServiceUnavailable)
+			return
 		}
 	}
 	if _, err := digest.Parse(ref); err != nil {

@@ -315,11 +315,30 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SubmitResponse{TaskID: t.id})
 }
 
-// handleLease hands the polling worker the oldest queued task its
-// platform can run, long-polling up to ?wait= for one to appear. The
-// lease also counts as a heartbeat.
+// maxLeaseBatch caps how many tasks one lease poll may request.
+const maxLeaseBatch = 16
+
+// leaseMax parses the ?max= batch budget of a lease poll, clamped to
+// [1, maxLeaseBatch].
+func leaseMax(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("max"))
+	if err != nil || n < 1 {
+		return 1
+	}
+	if n > maxLeaseBatch {
+		return maxLeaseBatch
+	}
+	return n
+}
+
+// handleLease hands the polling worker up to ?max= of the oldest
+// queued tasks its platform can run, long-polling up to ?wait= for
+// one to appear. The lease also counts as a heartbeat. As soon as
+// anything is assignable the poll returns — a partial batch beats a
+// parked worker.
 func (s *Scheduler) handleLease(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("worker")
+	max := leaseMax(r)
 	deadline := time.Now().Add(pollWait(r))
 	ctx := r.Context()
 	for {
@@ -333,23 +352,12 @@ func (s *Scheduler) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		wk.lastBeat = now
 		s.expireLocked(now)
-		if len(wk.inflight) < wk.slots {
-			for i, tid := range s.queue {
-				t := s.tasks[tid]
-				if t == nil || t.state != StateQueued || !wk.platform.Compatible(t.spec.Platform) {
-					continue
-				}
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				t.state = StateRunning
-				t.worker = id
-				t.attempts++
-				wk.inflight[tid] = true
-				s.mu.Unlock()
-				writeJSON(w, LeaseResponse{Task: &LeasedTask{ID: t.id, Spec: t.spec}})
-				return
-			}
-		}
+		leased := s.assignLocked(wk, max)
 		s.mu.Unlock()
+		if len(leased) > 0 {
+			writeJSON(w, LeaseResponse{Task: leased[0], Tasks: leased})
+			return
+		}
 		if time.Now().After(deadline) {
 			writeJSON(w, LeaseResponse{})
 			return
@@ -358,6 +366,50 @@ func (s *Scheduler) handleLease(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// assignLocked moves up to max queued tasks compatible with wk into
+// its in-flight set, FIFO. Assignment stays capacity-aware: tasks are
+// granted against free slots, plus at most ONE task beyond capacity
+// (the prefetch lookahead the worker pipelines its next snapshot
+// with) — and only for work no other live worker could start right
+// now, so lookahead never starves an idle peer. Callers hold s.mu.
+func (s *Scheduler) assignLocked(wk *schedWorker, max int) []*LeasedTask {
+	var out []*LeasedTask
+	i := 0
+	for i < len(s.queue) && len(out) < max {
+		t := s.tasks[s.queue[i]]
+		if t == nil || t.state != StateQueued || !wk.platform.Compatible(t.spec.Platform) {
+			i++
+			continue
+		}
+		if len(wk.inflight) >= wk.slots {
+			if len(wk.inflight) > wk.slots {
+				break // lookahead already granted
+			}
+			if s.otherFreeCompatibleLocked(wk.id, t.spec.Platform) {
+				break // an idle peer should take this instead
+			}
+		}
+		s.queue = append(s.queue[:i], s.queue[i+1:]...)
+		t.state = StateRunning
+		t.worker = wk.id
+		t.attempts++
+		wk.inflight[t.id] = true
+		out = append(out, &LeasedTask{ID: t.id, Spec: t.spec})
+	}
+	return out
+}
+
+// otherFreeCompatibleLocked reports whether a live worker other than
+// self has a free slot for platform p. Callers hold s.mu.
+func (s *Scheduler) otherFreeCompatibleLocked(self string, p Platform) bool {
+	for id, w := range s.workers {
+		if id != self && len(w.inflight) < w.slots && w.platform.Compatible(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // handleResult records a worker's report. Reports are idempotent:

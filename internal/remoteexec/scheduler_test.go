@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -275,5 +276,74 @@ func TestQueuedTasksFailWhenFarmEmpties(t *testing.T) {
 		if st.State != StateFailed {
 			t.Fatalf("task %s: state %q, want %q", tid, st.State, StateFailed)
 		}
+	}
+}
+
+func (f *farm) leaseBatch(worker string, max int, wait time.Duration) []*LeasedTask {
+	f.t.Helper()
+	var resp LeaseResponse
+	f.must(http.MethodPost, "/lease?worker="+worker+"&max="+strconv.Itoa(max)+"&wait="+itoa(wait), nil, &resp)
+	if resp.Task != nil && (len(resp.Tasks) == 0 || resp.Tasks[0].ID != resp.Task.ID) {
+		f.t.Fatalf("lease response Task %v does not mirror Tasks[0] of %v", resp.Task, resp.Tasks)
+	}
+	return resp.Leased()
+}
+
+// TestLeaseBatchFillsSlotsPlusLookahead: a lone worker's batched poll
+// is granted its free slots plus exactly one lookahead task — and no
+// more, however large the queue or the requested budget.
+func TestLeaseBatchFillsSlotsPlusLookahead(t *testing.T) {
+	f := newFarm(t, NewScheduler())
+	w := f.register("solo", 2)
+	for i := 0; i < 5; i++ {
+		f.submit()
+	}
+	got := f.leaseBatch(w, 4, 0)
+	if len(got) != 3 {
+		t.Fatalf("batch lease granted %d tasks, want 2 slots + 1 lookahead = 3", len(got))
+	}
+	// The lookahead is already out: the next poll gets nothing until
+	// something is reported back.
+	if again := f.leaseBatch(w, 4, 0); len(again) != 0 {
+		t.Fatalf("second batch lease granted %d tasks while over capacity", len(again))
+	}
+	// Reporting one task frees a slot; the queue drains further.
+	f.must(http.MethodPost, "/tasks/"+got[0].ID+"/result", ResultReport{WorkerID: w, Payload: digest.FromBytes([]byte("r"))}, nil)
+	if next := f.leaseBatch(w, 4, 0); len(next) != 1 {
+		t.Fatalf("post-report batch lease granted %d tasks, want 1", len(next))
+	}
+}
+
+// TestLeaseBatchLeavesWorkForIdlePeer: lookahead must never starve an
+// idle compatible worker — the batch stops at capacity while a peer
+// has a free slot.
+func TestLeaseBatchLeavesWorkForIdlePeer(t *testing.T) {
+	f := newFarm(t, NewScheduler())
+	w1 := f.register("first", 1)
+	w2 := f.register("second", 1)
+	for i := 0; i < 3; i++ {
+		f.submit()
+	}
+	if got := f.leaseBatch(w1, 4, 0); len(got) != 1 {
+		t.Fatalf("w1 granted %d tasks with an idle peer, want exactly its 1 slot", len(got))
+	}
+	// With w1 now saturated, w2 fills its slot and may take the
+	// remaining task as lookahead.
+	if got := f.leaseBatch(w2, 4, 0); len(got) != 2 {
+		t.Fatalf("w2 granted %d tasks, want 1 slot + 1 lookahead", len(got))
+	}
+}
+
+// TestLeaseSingleTaskCompat: a poll without ?max= behaves exactly as
+// before batching — one task, mirrored in both response fields.
+func TestLeaseSingleTaskCompat(t *testing.T) {
+	f := newFarm(t, NewScheduler())
+	w := f.register("legacy", 4)
+	f.submit()
+	f.submit()
+	var resp LeaseResponse
+	f.must(http.MethodPost, "/lease?worker="+w+"&wait=0", nil, &resp)
+	if resp.Task == nil || len(resp.Tasks) != 1 || resp.Tasks[0].ID != resp.Task.ID {
+		t.Fatalf("single lease response = %+v, want one task mirrored in Task and Tasks", resp)
 	}
 }

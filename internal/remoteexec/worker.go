@@ -60,6 +60,9 @@ type Worker struct {
 
 	treeMu sync.Mutex
 	trees  map[digest.Digest]*fsim.FS
+
+	overlayMu sync.Mutex
+	overlays  map[digest.Digest]Payload // prefetched, consumed on use
 }
 
 // NewWorker returns a worker for the farm at scheduler, executing
@@ -149,28 +152,47 @@ func (w *Worker) heartbeatLoop(ctx context.Context, id string, interval time.Dur
 	}
 }
 
-// slotLoop is one execution slot: lease, execute, report, repeat.
+// slotLoop is one execution slot: lease a small batch, execute each
+// task while prefetching the next one's inputs, report, repeat. The
+// batch (?max=2: the running task plus one lookahead) pipelines the
+// network — snapshot and overlay of task N+1 download while task N
+// computes — without hoarding: the scheduler only grants lookahead no
+// idle peer could take.
 func (w *Worker) slotLoop(ctx context.Context, id string) error {
-	leaseURL := fmt.Sprintf("%s%s/lease?worker=%s&wait=%d", w.Scheduler, APIPrefix, id, leaseWaitMillis)
+	leaseURL := fmt.Sprintf("%s%s/lease?worker=%s&wait=%d&max=2", w.Scheduler, APIPrefix, id, leaseWaitMillis)
+	var pending []*LeasedTask
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		var lr LeaseResponse
-		if err := doJSON(ctx, w.httpClient(), http.MethodPost, leaseURL, nil, &lr); err != nil {
-			if isStatus(err, http.StatusGone) {
-				return fmt.Errorf("remoteexec: worker %s expired by scheduler: %w", id, err)
+		if len(pending) == 0 {
+			var lr LeaseResponse
+			if err := doJSON(ctx, w.httpClient(), http.MethodPost, leaseURL, nil, &lr); err != nil {
+				if isStatus(err, http.StatusGone) {
+					return fmt.Errorf("remoteexec: worker %s expired by scheduler: %w", id, err)
+				}
+				if err := sleepCtx(ctx, 50*time.Millisecond); err != nil {
+					return err
+				}
+				continue
 			}
-			if err := sleepCtx(ctx, 50*time.Millisecond); err != nil {
-				return err
-			}
+			pending = lr.Leased()
 			continue
 		}
-		if lr.Task == nil {
-			continue
+		t := pending[0]
+		pending = pending[1:]
+		var pf sync.WaitGroup
+		if len(pending) > 0 {
+			next := pending[0]
+			pf.Add(1)
+			go func() {
+				defer pf.Done()
+				w.prefetchTask(ctx, next)
+			}()
 		}
 		rep := ResultReport{WorkerID: id}
-		payload, err := w.executeTask(ctx, lr.Task)
+		payload, err := w.executeTask(ctx, t)
+		pf.Wait()
 		if err != nil {
 			if ctx.Err() != nil {
 				// Killed mid-action: report nothing; heartbeat expiry
@@ -181,10 +203,53 @@ func (w *Worker) slotLoop(ctx context.Context, id string) error {
 		} else {
 			rep.Payload = payload
 		}
-		if err := w.report(ctx, lr.Task.ID, rep); err != nil && ctx.Err() != nil {
+		if err := w.report(ctx, t.ID, rep); err != nil && ctx.Err() != nil {
 			return ctx.Err()
 		}
 	}
+}
+
+// prefetchTask warms the inputs of an upcoming task — the memoized
+// base snapshot and the overlay payload — so execution starts without
+// waiting on the wire. Best-effort: a failed prefetch just means
+// executeTask fetches for real.
+func (w *Worker) prefetchTask(ctx context.Context, t *LeasedTask) {
+	repo := t.Spec.Repo
+	if repo == "" {
+		repo = DefaultRepo
+	}
+	if fsys, err := w.baseFS(ctx, repo, t.Spec.BaseTree); err == nil {
+		_ = fsys // memoized under treeMu; the clone is discarded
+	}
+	if t.Spec.Overlay == "" {
+		return
+	}
+	p, err := FetchPayload(ctx, w.Client, repo, t.Spec.Overlay)
+	if err != nil {
+		return
+	}
+	w.overlayMu.Lock()
+	if w.overlays == nil {
+		w.overlays = make(map[digest.Digest]Payload)
+	}
+	w.overlays[t.Spec.Overlay] = p
+	w.overlayMu.Unlock()
+}
+
+// fetchOverlay returns (and consumes) a prefetched overlay payload,
+// falling back to the registry. Single use keeps the stash bounded by
+// the lookahead depth.
+func (w *Worker) fetchOverlay(ctx context.Context, repo string, d digest.Digest) (Payload, error) {
+	w.overlayMu.Lock()
+	p, ok := w.overlays[d]
+	if ok {
+		delete(w.overlays, d)
+	}
+	w.overlayMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	return FetchPayload(ctx, w.Client, repo, d)
 }
 
 // report resubmits until the scheduler acknowledges (idempotent on
@@ -241,7 +306,7 @@ func (w *Worker) executeTask(ctx context.Context, t *LeasedTask) (digest.Digest,
 		return "", err
 	}
 	if t.Spec.Overlay != "" {
-		ov, err := FetchPayload(ctx, w.Client, repo, t.Spec.Overlay)
+		ov, err := w.fetchOverlay(ctx, repo, t.Spec.Overlay)
 		if err != nil {
 			return "", err
 		}

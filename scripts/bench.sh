@@ -18,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-BenchmarkRebuildColdVsWarm|BenchmarkTable1Systems|BenchmarkTable2Workloads|BenchmarkTable3ImageSizes|BenchmarkParallelPull|BenchmarkRemoteExecScaling}"
+BENCH="${BENCH:-BenchmarkRebuildColdVsWarm|BenchmarkTable1Systems|BenchmarkTable2Workloads|BenchmarkTable3ImageSizes|BenchmarkParallelPull|BenchmarkFleetPullThroughput|BenchmarkRemoteExecScaling}"
 OUT_DIR="${OUT_DIR:-bench-results}"
 STAMP=$(date -u +%Y%m%dT%H%M%SZ)
 RAW="$OUT_DIR/bench-$STAMP.txt"

@@ -55,13 +55,15 @@ go build ./...
 echo "== chaos (-race, -short seed subset) =="
 # Fast fault-injection smoke: crash-restart-verify cycles over a
 # reduced seed subset (-short trims 100 seeds to 10 per suite), plus
-# the resume/cancellation/breaker tests and the remote-execution farm
-# chaos (worker killed mid-action, lossy result uploads). CI's
-# dedicated chaos job runs the full 100-seed sweep; this step catches
-# regressions in seconds.
+# the resume/cancellation/breaker tests, the remote-execution farm
+# chaos (worker killed mid-action, lossy result uploads) and the
+# registry-fleet chaos (leader killed mid-push: every acknowledged
+# write must survive follower promotion). CI's dedicated chaos job
+# runs the full 100-seed sweep; this step catches regressions in
+# seconds.
 go test -race -short -count=1 \
     -run 'Chaos|CrashRestartVerify|SaveLayoutCrashConsistency|Resume|CancelAborts|Breaker|TieredDegrades' \
-    ./internal/distrib ./internal/actioncache ./internal/oci ./internal/remoteexec
+    ./internal/distrib ./internal/actioncache ./internal/oci ./internal/remoteexec ./internal/fleet
 
 echo "== go test -race =="
 go test -race ./...
