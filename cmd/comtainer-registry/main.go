@@ -134,6 +134,7 @@ func main() {
 		if *data != "" {
 			logPath = filepath.Join(*data, "replication.log")
 		}
+		//comtainer:allow closeleak -- ownership transfers to the replicator; the log lives for the process lifetime
 		wlog, err := fleet.NewWriteLog(logPath)
 		if err != nil {
 			log.Fatal(err)

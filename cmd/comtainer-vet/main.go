@@ -12,12 +12,17 @@
 //	gonaked       no fire-and-forget goroutines
 //	ctxsleep      no raw time.Sleep in retry loops
 //	ctxflow       received contexts are plumbed, not discarded
+//	bodyclose     *http.Response bodies closed on every path (CFG)
+//	closeleak     acquired io.Closers closed or handed off on every path (CFG)
+//	timerstop     time.Timer/Ticker stopped on every path (CFG)
+//	wgbalance     WaitGroup.Add answered by a Done provider on every path (CFG)
 //
 // Usage:
 //
 //	go run ./cmd/comtainer-vet ./...
 //	go run ./cmd/comtainer-vet -only lockio,safejoin ./internal/distrib
 //	go run ./cmd/comtainer-vet -cache -json ./...
+//	go run ./cmd/comtainer-vet -cache -stats ./...
 //
 // With -cache, per-package results and facts are keyed by analyzer
 // versions, toolchain, source bytes, and dependency keys, and replayed
@@ -35,6 +40,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"comtainer/internal/analysis"
 	"comtainer/internal/analysis/passes"
@@ -48,10 +54,11 @@ func main() {
 		useCache   = flag.Bool("cache", false, "replay unchanged packages from the incremental cache")
 		cacheDir   = flag.String("cache-dir", "", "cache location (default: $COMTAINER_VET_CACHE or the user cache dir)")
 		jsonOut    = flag.Bool("json", false, "emit findings as JSON (including suppressed ones, flagged)")
+		stats      = flag.Bool("stats", false, "print per-analyzer wall time and cache replay counts to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [-cache] [-cache-dir dir] [-json] [-cpuprofile out] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [-cache] [-cache-dir dir] [-json] [-stats] [-cpuprofile out] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -86,13 +93,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	os.Exit(run(suite, *dir, flag.Args(), *useCache, *cacheDir, *jsonOut))
+	os.Exit(run(suite, *dir, flag.Args(), *useCache, *cacheDir, *jsonOut, *stats))
 }
 
 // run executes the suite and returns the process exit code (0 clean,
 // 1 findings, 2 operational error). It is separate from main so the
 // pprof defers above fire before exit.
-func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cacheDir string, jsonOut bool) int {
+func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cacheDir string, jsonOut, stats bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -124,6 +131,9 @@ func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cac
 	if opts.Cache != nil {
 		fmt.Fprintf(os.Stderr, "comtainer-vet: %d/%d packages cached\n", res.Cached, res.Total)
 	}
+	if stats {
+		printStats(res)
+	}
 
 	findings := res.Findings()
 	if jsonOut {
@@ -143,4 +153,24 @@ func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cac
 		return 1
 	}
 	return 0
+}
+
+// printStats writes the per-analyzer cost table to stderr: wall time
+// in Run over fresh packages, Finish time, and how many packages each
+// analyzer actually saw (replayed packages cost nothing and appear in
+// the cached count above instead).
+func printStats(res *analysis.Result) {
+	fresh := res.Total - res.Cached
+	fmt.Fprintf(os.Stderr, "comtainer-vet: stats: %d fresh, %d replayed of %d packages\n",
+		fresh, res.Cached, res.Total)
+	fmt.Fprintf(os.Stderr, "  %-14s %10s %10s %6s\n", "analyzer", "run", "finish", "pkgs")
+	var totalRun, totalFinish time.Duration
+	for _, st := range res.Stats {
+		fmt.Fprintf(os.Stderr, "  %-14s %10s %10s %6d\n",
+			st.Name, st.RunTime.Round(time.Microsecond), st.FinishTime.Round(time.Microsecond), st.Packages)
+		totalRun += st.RunTime
+		totalFinish += st.FinishTime
+	}
+	fmt.Fprintf(os.Stderr, "  %-14s %10s %10s\n", "total",
+		totalRun.Round(time.Microsecond), totalFinish.Round(time.Microsecond))
 }

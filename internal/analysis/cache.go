@@ -14,7 +14,7 @@ import (
 
 // cacheSchema is the on-disk format version; bump to invalidate every
 // entry when the entry layout or keying scheme changes.
-const cacheSchema = "comtainer-vet-cache/v1"
+const cacheSchema = "comtainer-vet-cache/v2"
 
 // defaultCacheCap bounds the vet cache: entries are small JSON
 // documents, so 256 MiB is effectively unbounded in practice while

@@ -1,0 +1,428 @@
+// Package cfg builds per-function control-flow graphs over the
+// standard go/ast, with no dependency on go/types or external
+// packages, plus a small forward "must-happen-before-exit" dataflow
+// engine (flow.go) and resource-lifetime tracking on top of it
+// (lifetime.go).
+//
+// The graph is intraprocedural and statement-granular: every function
+// body becomes a set of basic blocks whose Nodes slices hold the
+// statements (and branch-condition expressions) executed in order.
+// Control constructs are lowered structurally — if/for/range/switch/
+// type-switch/select, labeled break and continue, goto (forward and
+// backward), fallthrough — and every return, panic(...), os.Exit,
+// log.Fatal*, and runtime.Goexit call edges into one synthetic exit
+// block. Deferred calls are recorded in the exit block in LIFO order
+// (they run on every exit), while the registering *ast.DeferStmt stays
+// in its own block so path-sensitive analyses see exactly where the
+// deferral becomes effective: an early return *before* a defer is
+// registered does not execute it.
+//
+// Function literals are not descended into; each literal body is its
+// own function and gets its own graph (analysis.FuncScopes hands both
+// out separately).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Name labels the graph in dumps (the function's name, or a
+	// caller-chosen tag for literals).
+	Name string
+	// Blocks holds every block, indexed by Block.Index. Entry is
+	// always Blocks[0] and Exit Blocks[1]; blocks statically
+	// unreachable from Entry (code after return, unlabeled loop exits
+	// of `for {}`) are kept.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Block is one basic block: Nodes execute in order, then control moves
+// to one of Succs.
+type Block struct {
+	Index int
+	// Kind names the construct that created the block ("entry",
+	// "if.then", "for.head", "select.case", ...) for dumps and
+	// debugging.
+	Kind string
+	// Nodes are the statements and condition expressions executed in
+	// this block, in order. Composite statements are lowered: a block
+	// never contains a node with nested control flow, except GoStmt /
+	// DeferStmt (whose bodies run elsewhere) and function literals
+	// (separate scopes).
+	Nodes []ast.Node
+	// Succs are the possible successors in evaluation order. When Cond
+	// is non-nil there are exactly two: Succs[0] is taken when Cond is
+	// true, Succs[1] when it is false.
+	Succs []*Block
+	// Cond is the branch condition ending the block, when the block
+	// ends in a two-way conditional branch (if and for headers).
+	Cond ast.Expr
+}
+
+// New builds the CFG of one function body. name is used only for
+// dumps.
+func New(name string, body *ast.BlockStmt) *CFG {
+	b := &builder{
+		g:      &CFG{Name: name},
+		labels: make(map[string]*Block),
+	}
+	b.g.Entry = b.block("entry")
+	b.g.Exit = b.block("exit")
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	b.edge(b.g.Exit)
+	// Deferred calls run on every exit, last registered first. They are
+	// recorded here for completeness and dumps; path-sensitive clients
+	// key releases off the DeferStmt registration nodes instead (see
+	// the package comment).
+	for i := len(b.deferred) - 1; i >= 0; i-- {
+		b.g.Exit.Nodes = append(b.g.Exit.Nodes, b.deferred[i])
+	}
+	return b.g
+}
+
+// builder carries the construction state.
+type builder struct {
+	g   *CFG
+	cur *Block
+	// frames is the stack of enclosing breakable/continuable
+	// constructs.
+	frames []frame
+	// labels maps a label name to its target block, created on first
+	// reference so forward gotos resolve.
+	labels map[string]*Block
+	// pendingLabel is the label naming the construct about to be
+	// built ("outer: for {...}").
+	pendingLabel string
+	// fall is the target of a fallthrough in the clause being built.
+	fall *Block
+	// deferred collects deferred calls in registration order.
+	deferred []*ast.CallExpr
+}
+
+// frame is one enclosing loop/switch/select for break and continue
+// resolution.
+type frame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch and select
+}
+
+func (b *builder) block(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) { b.cur.Nodes = append(b.cur.Nodes, n) }
+
+// edge adds an edge from the current block to to.
+func (b *builder) edge(to *Block) { b.cur.Succs = append(b.cur.Succs, to) }
+
+// terminate ends the current block with an edge to to and continues
+// building in a fresh block that nothing jumps to (dead code until a
+// label lands on it).
+func (b *builder) terminate(to *Block) {
+	b.edge(to)
+	b.cur = b.block("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		lb := b.labelTarget(s.Label.Name)
+		b.edge(lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, label, "switch")
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, "typeswitch")
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.deferred = append(b.deferred, s.Call)
+	case *ast.ExprStmt:
+		b.add(s)
+		if terminalCall(s.X) {
+			b.terminate(b.g.Exit)
+		}
+	case *ast.EmptyStmt:
+		// no effect, no node
+	default:
+		// Assign, Decl, Go, Send, IncDec, ...: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	cond.Cond = s.Cond
+	then := b.block("if.then")
+	var els *Block
+	if s.Else != nil {
+		els = b.block("if.else")
+	}
+	done := b.block("if.done")
+	if els != nil {
+		cond.Succs = []*Block{then, els}
+	} else {
+		cond.Succs = []*Block{then, done}
+	}
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(done)
+	if els != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.block("for.head")
+	body := b.block("for.body")
+	var post *Block
+	if s.Post != nil {
+		post = b.block("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		post.Succs = []*Block{head}
+	}
+	done := b.block("for.done")
+	b.edge(head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		head.Succs = []*Block{body, done}
+	} else {
+		// `for { ... }`: done is reachable only through break.
+		head.Succs = []*Block{body}
+	}
+	cont := head
+	if post != nil {
+		cont = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(cont)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.block("range.head")
+	body := b.block("range.body")
+	done := b.block("range.done")
+	b.edge(head)
+	// Only the ranged expression is a node: the RangeStmt itself
+	// contains the body, which must not appear inside one block.
+	head.Nodes = append(head.Nodes, s.X)
+	head.Succs = []*Block{body, done} // zero iterations possible
+	b.frames = append(b.frames, frame{label: label, brk: done, cont: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+func (b *builder) switchBody(body *ast.BlockStmt, label, kind string) {
+	head := b.cur
+	done := b.block(kind + ".done")
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Clause blocks are created up front so fallthrough can chain to
+	// the next clause before its statements are built.
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		k := kind + ".case"
+		if cc.List == nil {
+			k = kind + ".default"
+			hasDefault = true
+		}
+		blocks[i] = b.block(k)
+		head.Succs = append(head.Succs, blocks[i])
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done) // no clause matched
+	}
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	savedFall := b.fall
+	for i, cc := range clauses {
+		b.fall = done
+		if i+1 < len(blocks) {
+			b.fall = blocks[i+1]
+		}
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edge(done)
+	}
+	b.fall = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.block("select.done")
+	b.frames = append(b.frames, frame{label: label, brk: done})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.block(kind)
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(done)
+	}
+	// A select with no default blocks until a case fires; `select {}`
+	// blocks forever (head keeps no successor).
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	b.add(s)
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.brk != nil && (name == "" || f.label == name) {
+				b.terminate(f.brk)
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.cont != nil && (name == "" || f.label == name) {
+				b.terminate(f.cont)
+				return
+			}
+		}
+	case token.GOTO:
+		if name != "" {
+			b.terminate(b.labelTarget(name))
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.terminate(b.fall)
+			return
+		}
+	}
+	// Malformed input (break outside a loop, goto without label):
+	// treat as an exit so the graph stays well formed.
+	b.terminate(b.g.Exit)
+}
+
+// labelTarget returns the block for a label, creating it on first
+// reference (forward gotos resolve when the LabeledStmt is reached).
+func (b *builder) labelTarget(name string) *Block {
+	if lb, ok := b.labels[name]; ok {
+		return lb
+	}
+	lb := b.block("label." + name)
+	b.labels[name] = lb
+	return lb
+}
+
+// terminalCall reports calls that never return, by syntax alone:
+// panic(...), os.Exit, log.Fatal*, runtime.Goexit. A purely lexical
+// test suffices here — shadowing `panic` or aliasing the os import is
+// not something this codebase does, and a miss only makes the graph
+// more conservative (an extra path to exit).
+func terminalCall(x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			return strings.HasPrefix(fun.Sel.Name, "Fatal")
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,237 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGolden builds the CFG of every function in testdata/funcs.go and
+// compares the concatenated dumps against testdata/funcs.golden.
+// Regenerate with CFG_UPDATE=1 go test ./internal/analysis/cfg.
+func TestGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "testdata/funcs.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := New(fd.Name.Name, fd.Body)
+		b.WriteString(g.Dump())
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	const golden = "testdata/funcs.golden"
+	if os.Getenv("CFG_UPDATE") == "1" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with CFG_UPDATE=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CFG dump drifted from %s.\nRegenerate with CFG_UPDATE=1 after reviewing.\n--- got ---\n%s", golden, got)
+	}
+}
+
+// parseFunc builds the CFG of a single function given as source text.
+func parseFunc(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Name.Name, fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// stopOn returns a stop predicate matching any call whose rendered
+// text contains the substring.
+func stopOn(sub string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		return strings.Contains(nodeText(n), sub)
+	}
+}
+
+func TestReachesExitStructural(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		stop string
+		leak bool // some path reaches exit without the stop node
+	}{
+		{
+			name: "release on every path",
+			src: `func f() {
+				acquire()
+				if cond() {
+					release()
+					return
+				}
+				release()
+			}`,
+			stop: "release",
+			leak: false,
+		},
+		{
+			name: "early return skips release",
+			src: `func f() {
+				acquire()
+				if cond() {
+					return
+				}
+				release()
+			}`,
+			stop: "release",
+			leak: true,
+		},
+		{
+			name: "defer before branches covers all",
+			src: `func f() {
+				acquire()
+				defer release()
+				if cond() {
+					return
+				}
+			}`,
+			stop: "release",
+			leak: false,
+		},
+		{
+			name: "return before defer registration",
+			src: `func f() {
+				acquire()
+				if cond() {
+					return
+				}
+				defer release()
+			}`,
+			stop: "release",
+			leak: true,
+		},
+		{
+			name: "labeled break bypasses release",
+			src: `func f() {
+				acquire()
+			outer:
+				for {
+					for {
+						if cond() {
+							break outer
+						}
+						release()
+						return
+					}
+				}
+			}`,
+			stop: "release",
+			leak: true,
+		},
+		{
+			name: "infinite loop never exits",
+			src: `func f() {
+				acquire()
+				for {
+					work()
+				}
+			}`,
+			stop: "release",
+			leak: false,
+		},
+		{
+			name: "panic path still exits",
+			src: `func f() {
+				acquire()
+				if cond() {
+					panic("boom")
+				}
+				release()
+			}`,
+			stop: "release",
+			leak: true,
+		},
+		{
+			name: "select with default: release only in one case",
+			src: `func f(ch chan int) {
+				acquire()
+				select {
+				case <-ch:
+					release()
+				default:
+				}
+			}`,
+			stop: "release",
+			leak: true,
+		},
+		{
+			name: "goto loops back through release",
+			src: `func f() {
+				acquire()
+			again:
+				if cond() {
+					goto again
+				}
+				release()
+			}`,
+			stop: "release",
+			leak: false,
+		},
+		{
+			name: "switch without default falls through",
+			src: `func f(n int) {
+				acquire()
+				switch n {
+				case 1:
+					release()
+				}
+			}`,
+			stop: "release",
+			leak: true,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseFunc(t, tc.src)
+			got := ReachesExit(g, g.Entry, -1, stopOn(tc.stop), nil)
+			if got != tc.leak {
+				t.Errorf("ReachesExit = %v, want %v\n%s", got, tc.leak, g.Dump())
+			}
+		})
+	}
+}
+
+// TestExitCollectsDefers checks that deferred calls land in the exit
+// block in LIFO order.
+func TestExitCollectsDefers(t *testing.T) {
+	g := parseFunc(t, `func f() {
+		defer first()
+		defer second()
+	}`)
+	if len(g.Exit.Nodes) != 2 {
+		t.Fatalf("exit has %d nodes, want 2:\n%s", len(g.Exit.Nodes), g.Dump())
+	}
+	if got := nodeText(g.Exit.Nodes[0]); !strings.Contains(got, "second") {
+		t.Errorf("exit node 0 = %q, want the LIFO-first deferred call second()", got)
+	}
+	if got := nodeText(g.Exit.Nodes[1]); !strings.Contains(got, "first") {
+		t.Errorf("exit node 1 = %q, want first()", got)
+	}
+}

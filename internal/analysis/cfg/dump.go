@@ -1,0 +1,89 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph in a stable, diff-friendly text form — the
+// format the golden-file tests pin down:
+//
+//	func name
+//	  b0 entry -> b2
+//	  b2 for.head -> b3 b4 [cond]
+//	      i < n
+//	  ...
+//	  b1 exit
+//	      defer f.Close()
+//
+// Blocks appear in index order with the exit block last. Blocks not
+// reachable from the entry are marked "(unreachable)"; empty
+// unreachable blocks with no successors besides their fallthrough are
+// still printed so indices stay dense and stable.
+func (g *CFG) Dump() string {
+	reach := g.reachable()
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s\n", g.Name)
+	emit := func(blk *Block) {
+		fmt.Fprintf(&b, "  b%d %s", blk.Index, blk.Kind)
+		if len(blk.Succs) > 0 {
+			b.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&b, " b%d", s.Index)
+			}
+		}
+		if blk.Cond != nil {
+			b.WriteString(" [cond]")
+		}
+		if !reach[blk] && blk != g.Exit {
+			b.WriteString(" (unreachable)")
+		}
+		b.WriteString("\n")
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&b, "      %s\n", nodeText(n))
+		}
+	}
+	for _, blk := range g.Blocks {
+		if blk == g.Exit {
+			continue
+		}
+		emit(blk)
+	}
+	emit(g.Exit)
+	return b.String()
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func (g *CFG) reachable() map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, s := range blk.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+// nodeText renders one node as a single collapsed line, truncated so
+// goldens stay readable.
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 80 {
+		s = s[:77] + "..."
+	}
+	return s
+}

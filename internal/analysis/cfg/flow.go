@@ -1,0 +1,72 @@
+package cfg
+
+import "go/ast"
+
+// ReachesExit is the forward "must-happen-before-exit" engine: it
+// reports whether execution starting in block from, just after node
+// index start (pass -1 to include the whole block), can reach the
+// function exit without executing a node for which stop returns true.
+//
+// Used contrapositively it answers the lifecycle question every
+// resource pass asks: with stop = "this node releases the resource", a
+// true result is a witness path on which the release never happens — a
+// leak. A false result means every exiting path hits a release first,
+// i.e. the release must happen before exit.
+//
+// dead, when non-nil, prunes edges the analysis knows cannot be taken
+// in the tracked state (the `if err != nil` branch right after an
+// acquire that succeeded — see Tracked.deadEdge); pruned edges are not
+// traversed.
+//
+// The synthetic exit block's own nodes (the LIFO deferred calls) are
+// deliberately NOT scanned: a deferred release only counts from its
+// registration node onward, which is where the DeferStmt sits in the
+// graph. Cycles are handled by memoizing visited blocks — an infinite
+// loop that never exits vacuously satisfies any must-before-exit
+// property.
+func ReachesExit(g *CFG, from *Block, start int, stop func(ast.Node) bool, dead func(from, to *Block) bool) bool {
+	if from != g.Exit {
+		for _, n := range from.Nodes[start+1:] {
+			if stop(n) {
+				return false
+			}
+		}
+	}
+	seen := make(map[*Block]bool)
+	var visit func(*Block) bool
+	visit = func(blk *Block) bool {
+		if blk == g.Exit {
+			return true
+		}
+		if seen[blk] {
+			return false
+		}
+		seen[blk] = true
+		for _, n := range blk.Nodes {
+			if stop(n) {
+				return false
+			}
+		}
+		for _, s := range blk.Succs {
+			if dead != nil && dead(blk, s) {
+				continue
+			}
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if from == g.Exit {
+		return true
+	}
+	for _, s := range from.Succs {
+		if dead != nil && dead(from, s) {
+			continue
+		}
+		if visit(s) {
+			return true
+		}
+	}
+	return false
+}

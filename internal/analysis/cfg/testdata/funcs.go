@@ -1,0 +1,129 @@
+// Package funcs is the golden-file corpus for the CFG builder: each
+// function exercises one tricky lowering. It is parsed, never
+// compiled, so the stub identifiers below need no imports.
+package funcs
+
+func straightLine(a, b int) int {
+	c := a + b
+	c *= 2
+	return c
+}
+
+func ifElse(n int) string {
+	if n > 0 {
+		return "pos"
+	} else if n < 0 {
+		return "neg"
+	}
+	return "zero"
+}
+
+func deferInLoop(paths []string) error {
+	for _, p := range paths {
+		f, err := open(p)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	return nil
+}
+
+func labeledBreakContinue(rows [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(rows); i++ {
+		for _, v := range rows[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func gotoRetry(limit int) error {
+	tries := 0
+retry:
+	err := attempt()
+	if err != nil {
+		tries++
+		if tries < limit {
+			goto retry
+		}
+		return err
+	}
+	return nil
+}
+
+func selectCtxDone(ctx ctxT, ch chan int) (int, error) {
+	t := newTimer()
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case v := <-ch:
+		return v, nil
+	case <-t.C:
+		return -1, nil
+	}
+}
+
+func panicRecover(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = asError(r)
+		}
+	}()
+	if f == nil {
+		panic("nil func")
+	}
+	f()
+	return nil
+}
+
+func switchFallthrough(n int) int {
+	score := 0
+	switch n {
+	case 0:
+		score++
+		fallthrough
+	case 1:
+		score += 10
+	default:
+		score = -1
+	}
+	return score
+}
+
+func typeSwitchLoop(vals []interface{}) int {
+	count := 0
+	for _, v := range vals {
+		switch x := v.(type) {
+		case int:
+			count += x
+		case string:
+			if x == "" {
+				continue
+			}
+			count++
+		default:
+			return -1
+		}
+	}
+	return count
+}
+
+func forForever(work chan func()) {
+	for {
+		w, ok := <-work
+		if !ok {
+			break
+		}
+		w()
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"time"
 
 	"comtainer/internal/digest"
 )
@@ -30,6 +31,22 @@ type Result struct {
 	// Pkgs are the packages that were actually loaded from source
 	// this run (cache misses); cached packages do not appear.
 	Pkgs []*Package
+	// Stats holds per-analyzer cost over the run, in suite order.
+	// Replayed packages contribute nothing: their results came from
+	// the cache, which is the point.
+	Stats []AnalyzerStat
+}
+
+// AnalyzerStat aggregates one analyzer's cost over a checker run.
+type AnalyzerStat struct {
+	// Name is the analyzer name.
+	Name string
+	// RunTime is the wall time spent in Run across fresh packages.
+	RunTime time.Duration
+	// FinishTime is the wall time of the whole-program Finish step.
+	FinishTime time.Duration
+	// Packages counts the fresh packages the analyzer ran over.
+	Packages int
 }
 
 // Findings returns the diagnostics that survived suppression.
@@ -93,6 +110,7 @@ func Run(targets []*Target, suite Suite, opts *Options) (*Result, error) {
 		return nil, err
 	}
 	res.Diags = diags
+	res.Stats = ck.statsList()
 	return res, nil
 }
 
@@ -171,6 +189,7 @@ type checker struct {
 	diags []Diagnostic
 	sites []allowSite
 	facts map[string]map[string]Fact // analyzer → package path → fact
+	stats map[string]*AnalyzerStat   // analyzer → accumulated cost
 
 	// perPkg remembers what each package contributed, so a replay
 	// that later proves corrupt can be forgotten cleanly.
@@ -181,6 +200,7 @@ func newChecker(suite []*Analyzer) *checker {
 	return &checker{
 		suite:  suite,
 		facts:  make(map[string]map[string]Fact),
+		stats:  make(map[string]*AnalyzerStat),
 		perPkg: make(map[string]*cacheEntry),
 	}
 }
@@ -217,9 +237,13 @@ func (ck *checker) analyze(pkg *Package) (*cacheEntry, error) {
 				}
 			}
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: running %s on %s: %w", a.Name, pkg.Path, err)
 		}
+		st := ck.statsFor(a.Name)
+		st.RunTime += time.Since(start)
+		st.Packages++
 		entry.Diags = append(entry.Diags, diags...)
 	}
 	ck.adopt(pkg.Path, entry)
@@ -290,9 +314,11 @@ func (ck *checker) finish() ([]Diagnostic, error) {
 			Facts:    facts,
 			Report:   func(d Diagnostic) { ck.diags = append(ck.diags, d) },
 		}
+		start := time.Now()
 		if err := a.Finish(fp); err != nil {
 			return nil, fmt.Errorf("analysis: finishing %s: %w", a.Name, err)
 		}
+		ck.statsFor(a.Name).FinishTime += time.Since(start)
 	}
 
 	ix := buildAllowIndex(ck.sites)
@@ -320,6 +346,29 @@ func (ck *checker) finish() ([]Diagnostic, error) {
 		return a.Message < b.Message
 	})
 	return out, nil
+}
+
+// statsFor returns (creating on first use) the accumulator for name.
+func (ck *checker) statsFor(name string) *AnalyzerStat {
+	st := ck.stats[name]
+	if st == nil {
+		st = &AnalyzerStat{Name: name}
+		ck.stats[name] = st
+	}
+	return st
+}
+
+// statsList flattens the accumulators into suite order.
+func (ck *checker) statsList() []AnalyzerStat {
+	out := make([]AnalyzerStat, 0, len(ck.suite))
+	for _, a := range ck.suite {
+		if st := ck.stats[a.Name]; st != nil {
+			out = append(out, *st)
+		} else {
+			out = append(out, AnalyzerStat{Name: a.Name})
+		}
+	}
+	return out
 }
 
 func findAnalyzer(suite []*Analyzer, name string) *Analyzer {

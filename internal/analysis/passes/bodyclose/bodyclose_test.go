@@ -1,0 +1,14 @@
+package bodyclose_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/bodyclose"
+)
+
+func TestBodyclose(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{bodyclose.Analyzer},
+		"testdata/src/bodyclose", "./a", "./b")
+}

@@ -1,0 +1,120 @@
+// Package a exercises the bodyclose analyzer.
+package a
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"comtainer/internal/analysis/passes/bodyclose/testdata/src/bodyclose/b"
+)
+
+func plainLeak(url string) error {
+	resp, err := http.Get(url) // want `resp.Body is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func deferClean(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func statusPathLeak(url string) error {
+	resp, err := http.Get(url) // want `resp.Body is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errors.New("bad status") // leaks: body never closed on this path
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func statusHelperClean(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := b.StatusError(resp) // dependency fact: StatusError closes resp
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func passthroughLeak(url string) error {
+	resp, err := http.Get(url) // want `resp.Body is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	b.Passthrough(resp) // no fact: Passthrough does not close
+	return nil
+}
+
+func helperAcquireLeak(url string) error {
+	resp, err := b.Fetch(url) // want `resp.Body is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func statusOnlyLeak(url string) (int, error) {
+	resp, err := http.Get(url) // want `resp.Body is not closed on every path to return`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil // returns an int, not the body: still this function's leak
+}
+
+func discarded(url string) {
+	http.Get(url) // want `\*http.Response result is discarded; its Body must be closed`
+}
+
+func aliasEscapes(url string) (io.ReadCloser, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	body := resp.Body // aliases the closable part: tracking transfers
+	return body, nil
+}
+
+func localCloser(resp *http.Response) {
+	resp.Body.Close()
+}
+
+func localHelperClean(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		localCloser(resp) // same-package classification
+		return errors.New("bad status")
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func returnedClean(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil // escapes: the caller closes
+}

@@ -1,0 +1,32 @@
+// Package b provides the helpers package a exercises bodyclose
+// against: a status helper that closes the body it is handed (the
+// closer fact), one that does not, and a fetch helper returning a
+// fresh response.
+package b
+
+import (
+	"errors"
+	"io"
+	"net/http"
+)
+
+// StatusError drains and closes resp.Body on every path before
+// wrapping the status — classified as a closer for parameter 0.
+func StatusError(resp *http.Response) error {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return errors.New(resp.Status)
+}
+
+// Passthrough inspects the response but closes nothing.
+func Passthrough(resp *http.Response) error {
+	if resp.StatusCode >= 400 {
+		return errors.New(resp.Status)
+	}
+	return nil
+}
+
+// Fetch returns a fresh response; closing is the caller's job.
+func Fetch(url string) (*http.Response, error) {
+	return http.Get(url)
+}

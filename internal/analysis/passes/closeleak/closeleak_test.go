@@ -1,0 +1,12 @@
+package closeleak_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/closeleak"
+)
+
+func TestCloseleak(t *testing.T) {
+	analysistest.Run(t, closeleak.Analyzer, "testdata/src/closeleak/a")
+}

@@ -1,0 +1,102 @@
+// Package a exercises the closeleak analyzer.
+package a
+
+import (
+	"compress/gzip"
+	"io"
+	"net"
+	"net/http"
+	"os"
+)
+
+func leakOnSecondAcquire(p, q string) error {
+	src, err := os.Open(p) // want `src \(\*os.File\) is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	dst, err := os.Create(q)
+	if err != nil {
+		return err // src leaks on this path; dst is nil here
+	}
+	defer src.Close()
+	defer dst.Close()
+	_, err = io.Copy(dst, src)
+	return err
+}
+
+func deferClean(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(io.Discard, f)
+	return err
+}
+
+func gzipWriterLeak(w io.Writer, b []byte) error {
+	zw := gzip.NewWriter(w) // want `zw \(\*compress/gzip.Writer\) is not closed on every path to return`
+	if _, err := zw.Write(b); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+func gzipWriterClean(w io.Writer, b []byte) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(b); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+func returnedClean(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // escapes: the caller owns it now
+}
+
+func storedClean(p string, sink *struct{ F *os.File }) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	sink.F = f // escapes into the caller's struct
+	return nil
+}
+
+func closeBoth(a, b *os.File) {
+	a.Close()
+	b.Close()
+}
+
+func helperClean(p, q string) error {
+	src, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	dst, err := os.Create(q)
+	if err != nil {
+		src.Close()
+		return err
+	}
+	_, err = io.Copy(dst, src)
+	closeBoth(src, dst) // same-package classification: closes both params
+	return err
+}
+
+func serveConsumes(ln net.Listener, h http.Handler) error {
+	return http.Serve(ln, h)
+}
+
+func acceptLeak(ln net.Listener) error {
+	conn, err := ln.Accept() // want `conn \(net.Conn\) is not closed on every path to return`
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write([]byte("hi"))
+	return err
+}

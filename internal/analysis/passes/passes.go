@@ -4,6 +4,8 @@ package passes
 import (
 	"comtainer/internal/analysis"
 	"comtainer/internal/analysis/passes/atomicwrite"
+	"comtainer/internal/analysis/passes/bodyclose"
+	"comtainer/internal/analysis/passes/closeleak"
 	"comtainer/internal/analysis/passes/ctxflow"
 	"comtainer/internal/analysis/passes/ctxsleep"
 	"comtainer/internal/analysis/passes/digestcmp"
@@ -13,6 +15,8 @@ import (
 	"comtainer/internal/analysis/passes/lockio"
 	"comtainer/internal/analysis/passes/lockorder"
 	"comtainer/internal/analysis/passes/safejoin"
+	"comtainer/internal/analysis/passes/timerstop"
+	"comtainer/internal/analysis/passes/wgbalance"
 )
 
 // All returns every analyzer in the comtainer-vet suite, in the order
@@ -29,5 +33,9 @@ func All() analysis.Suite {
 		gonaked.Analyzer,
 		ctxsleep.Analyzer,
 		ctxflow.Analyzer,
+		bodyclose.Analyzer,
+		closeleak.Analyzer,
+		timerstop.Analyzer,
+		wgbalance.Analyzer,
 	}
 }

@@ -1,0 +1,70 @@
+// Package a exercises the timerstop analyzer.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func waitOnceLeak(d time.Duration) {
+	t := time.NewTicker(d) // want `t \(\*time.Ticker\) is not stopped on every path to return`
+	<-t.C
+}
+
+func deferClean(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func stopTooLate(d time.Duration, ready bool) {
+	t := time.NewTimer(d) // want `t \(\*time.Timer\) is not stopped on every path to return`
+	if !ready {
+		return
+	}
+	defer t.Stop()
+	<-t.C
+}
+
+func pumpForever(d time.Duration) {
+	t := time.NewTicker(d) // never exits: vacuously stopped
+	for {
+		<-t.C
+	}
+}
+
+func returnedClean(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t // the caller stops it
+}
+
+func discarded(d time.Duration) {
+	time.NewTicker(d) // want `\*time.Ticker result is discarded; it can never be stopped`
+}
+
+func tickInLibrary(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want `time.Tick leaks its Ticker in library code`
+}
+
+func afterInLoop(ctx context.Context, d time.Duration) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d): // want `time.After in a loop leaks one Timer per iteration`
+		}
+	}
+}
+
+func afterOnce(d time.Duration) {
+	<-time.After(d) // outside a loop: one timer, fires and is collected
+}
+
+func methodAfterIsFine(deadline time.Time) bool {
+	return time.Now().After(deadline) // the Time method, not the package function
+}

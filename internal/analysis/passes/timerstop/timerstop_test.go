@@ -1,0 +1,12 @@
+package timerstop_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/timerstop"
+)
+
+func TestTimerstop(t *testing.T) {
+	analysistest.Run(t, timerstop.Analyzer, "testdata/src/timerstop/a")
+}

@@ -1,0 +1,99 @@
+// Package a exercises the wgbalance analyzer.
+package a
+
+import (
+	"sync"
+
+	"comtainer/internal/analysis/passes/wgbalance/testdata/src/wgbalance/b"
+)
+
+func work() {}
+
+func addThenBail(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1) // want `wg.Add is not balanced by a Done provider on every path to return`
+	if cond {
+		return // the Add is stranded: any Wait blocks forever
+	}
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func spawnClean(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func helperClean(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go b.Work(&wg) // dependency fact: Work calls Done on every path
+	}
+	wg.Wait()
+}
+
+func localDone(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if cond {
+		wg.Done() // direct Done on this path
+		return
+	}
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg.Add inside the goroutine races the Wait; call Add before the go statement`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			work()
+		}()
+	}
+	p.wg.Wait()
+}
+
+func (p *pool) addThenError(ok bool) error {
+	p.wg.Add(1) // want `wg.Add is not balanced by a Done provider on every path to return`
+	if !ok {
+		return errFailed
+	}
+	go func() {
+		defer p.wg.Done()
+	}()
+	return nil
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,11 @@
+// Package b provides the WaitGroup worker package a exercises
+// wgbalance against: it always signals the group it is handed and is
+// classified (and exported) as a finisher for parameter 0.
+package b
+
+import "sync"
+
+// Work runs one task and always signals the group.
+func Work(wg *sync.WaitGroup) {
+	defer wg.Done()
+}

@@ -1,0 +1,14 @@
+package wgbalance_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/wgbalance"
+)
+
+func TestWgbalance(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{wgbalance.Analyzer},
+		"testdata/src/wgbalance", "./a", "./b")
+}

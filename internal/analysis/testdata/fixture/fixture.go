@@ -1,13 +1,18 @@
 // Package fixture is a tiny module the comtainer-vet end-to-end test
-// runs the multichecker against. It deliberately violates three of the
-// enforced invariants (digestcmp, atomicwrite, gonaked) and contains
-// one clean, suppressed site. It must not import comtainer/internal
-// packages: those are invisible across the module boundary.
+// runs the multichecker against. It deliberately violates seven of the
+// enforced invariants (digestcmp, atomicwrite, gonaked, bodyclose,
+// closeleak, timerstop, wgbalance) once each and contains one clean,
+// suppressed site. It must not import comtainer/internal packages:
+// those are invisible across the module boundary.
 package fixture
 
 import (
+	"errors"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 )
 
 // IsDigest violates digestcmp: raw comparison against a sha256 literal.
@@ -23,6 +28,44 @@ func WriteBlob(root string, data []byte) error {
 // Spawn violates gonaked: the goroutine is never joined.
 func Spawn(fn func()) {
 	go func() { fn() }()
+}
+
+// FetchStatus violates bodyclose: nothing ever closes resp.Body.
+func FetchStatus(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// ReadHeader violates closeleak: f is never closed.
+func ReadHeader(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+// WaitOne violates timerstop: the ticker is never stopped.
+func WaitOne(d time.Duration) {
+	t := time.NewTicker(d)
+	<-t.C
+}
+
+// Begin violates wgbalance: the Add is stranded on the error path.
+func Begin(ready bool) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if !ready {
+		return errors.New("not ready")
+	}
+	wg.Done()
+	wg.Wait()
+	return nil
 }
 
 // Allowed shows a suppressed site the vet must stay quiet about.

@@ -43,6 +43,7 @@ func gzipBytes(b []byte) ([]byte, error) {
 	}
 	zw.ModTime = time.Unix(0, 0).UTC()
 	if _, err := zw.Write(b); err != nil {
+		zw.Close()
 		return nil, err
 	}
 	if err := zw.Close(); err != nil {
@@ -59,6 +60,7 @@ func gunzipBytes(b []byte) ([]byte, error) {
 	}
 	out, err := io.ReadAll(zr)
 	if err != nil {
+		zr.Close()
 		return nil, err
 	}
 	return out, zr.Close()

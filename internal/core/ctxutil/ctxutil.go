@@ -1,0 +1,25 @@
+// Package ctxutil holds tiny context-aware primitives shared by every
+// layer of the system. It sits below internal/core proper (which pulls
+// in the heavy subsystems) so leaf packages like distrib, fleet, and
+// remoteexec can import it without cycles.
+package ctxutil
+
+import (
+	"context"
+	"time"
+)
+
+// Sleep waits for d or until ctx is done, whichever comes first — the
+// cancellation-aware replacement for time.Sleep on retry, backoff, and
+// heartbeat paths. It returns ctx.Err() when the wait was cut short and
+// nil when the full duration elapsed.
+func Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

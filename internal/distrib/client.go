@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"comtainer/internal/core/ctxutil"
 	"comtainer/internal/digest"
 	"comtainer/internal/oci"
 )
@@ -200,20 +201,6 @@ func transient(err error) bool {
 	return true
 }
 
-// sleepCtx waits for d or until ctx is cancelled, whichever comes
-// first — the cancellation-aware replacement for time.Sleep on the
-// retry path.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-timer.C:
-		return nil
-	}
-}
-
 // attempt runs fn once under the per-attempt deadline, if configured.
 func (c *Client) attempt(ctx context.Context, fn func(context.Context) error) error {
 	if c.OpTimeout > 0 {
@@ -242,7 +229,7 @@ func (c *Client) withRetry(ctx context.Context, fn func(context.Context) error) 
 			// the log line.
 			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
 		}
-		if serr := sleepCtx(ctx, backoff); serr != nil {
+		if serr := ctxutil.Sleep(ctx, backoff); serr != nil {
 			return fmt.Errorf("%w (last attempt: %v)", serr, err)
 		}
 		backoff *= 2
@@ -488,7 +475,7 @@ func (c *Client) PushBlob(ctx context.Context, name string, src BlobSource, d di
 			if cerr := ctx.Err(); cerr != nil {
 				return fmt.Errorf("%w (last attempt: %v)", cerr, err)
 			}
-			if serr := sleepCtx(ctx, backoff); serr != nil {
+			if serr := ctxutil.Sleep(ctx, backoff); serr != nil {
 				return fmt.Errorf("%w (last attempt: %v)", serr, err)
 			}
 			backoff *= 2

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"comtainer/internal/core/ctxutil"
 	"comtainer/internal/digest"
 	"comtainer/internal/distrib"
 	"comtainer/internal/oci"
@@ -879,7 +880,7 @@ func FetchTable(ctx context.Context, hc *http.Client, base string) (Table, error
 // request-path promotion in withGroup.
 func (p *Proxy) Watch(ctx context.Context, interval time.Duration) {
 	for {
-		if err := sleepCtx(ctx, interval); err != nil {
+		if err := ctxutil.Sleep(ctx, interval); err != nil {
 			return
 		}
 		p.CheckLeaders(ctx, interval)
@@ -907,18 +908,5 @@ func (p *Proxy) CheckLeaders(ctx context.Context, timeout time.Duration) {
 		if g.noteMiss(leader) >= misses {
 			g.promoteFrom(leader)
 		}
-	}
-}
-
-// sleepCtx waits for d or until ctx is done — the cancellation-aware
-// replacement for time.Sleep on periodic paths.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
 	}
 }

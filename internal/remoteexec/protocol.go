@@ -45,7 +45,6 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"time"
 
 	"comtainer/internal/actioncache"
 	"comtainer/internal/digest"
@@ -282,16 +281,4 @@ func doJSON(ctx context.Context, hc *http.Client, method, url string, in, out an
 		return fmt.Errorf("remoteexec: decoding %s response: %w", url, err)
 	}
 	return nil
-}
-
-// sleepCtx waits for d or until ctx is cancelled, whichever first.
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"comtainer/internal/core/ctxutil"
 )
 
 // Scheduler default tuning.
@@ -362,7 +364,7 @@ func (s *Scheduler) handleLease(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, LeaseResponse{})
 			return
 		}
-		if err := sleepCtx(ctx, pollTick); err != nil {
+		if err := ctxutil.Sleep(ctx, pollTick); err != nil {
 			return
 		}
 	}
@@ -470,7 +472,7 @@ func (s *Scheduler) handleTaskStatus(w http.ResponseWriter, r *http.Request, tid
 			writeJSON(w, st)
 			return
 		}
-		if err := sleepCtx(ctx, pollTick); err != nil {
+		if err := ctxutil.Sleep(ctx, pollTick); err != nil {
 			return
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"comtainer/internal/actioncache"
+	"comtainer/internal/core/ctxutil"
 	"comtainer/internal/digest"
 	"comtainer/internal/distrib"
 	"comtainer/internal/fsim"
@@ -142,7 +143,7 @@ func (w *Worker) Run(ctx context.Context) error {
 func (w *Worker) heartbeatLoop(ctx context.Context, id string, interval time.Duration) error {
 	url := w.Scheduler + APIPrefix + "/workers/" + id + "/heartbeat"
 	for {
-		if err := sleepCtx(ctx, interval); err != nil {
+		if err := ctxutil.Sleep(ctx, interval); err != nil {
 			return err
 		}
 		err := doJSON(ctx, w.httpClient(), http.MethodPost, url, struct{}{}, nil)
@@ -171,7 +172,7 @@ func (w *Worker) slotLoop(ctx context.Context, id string) error {
 				if isStatus(err, http.StatusGone) {
 					return fmt.Errorf("remoteexec: worker %s expired by scheduler: %w", id, err)
 				}
-				if err := sleepCtx(ctx, 50*time.Millisecond); err != nil {
+				if err := ctxutil.Sleep(ctx, 50*time.Millisecond); err != nil {
 					return err
 				}
 				continue
@@ -259,7 +260,7 @@ func (w *Worker) report(ctx context.Context, taskID string, rep ResultReport) er
 	var last error
 	for attempt := 0; attempt < reportAttempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, time.Duration(attempt)*50*time.Millisecond); err != nil {
+			if err := ctxutil.Sleep(ctx, time.Duration(attempt)*50*time.Millisecond); err != nil {
 				return err
 			}
 		}
@@ -315,7 +316,7 @@ func (w *Worker) executeTask(ctx context.Context, t *LeasedTask) (digest.Digest,
 		}
 	}
 	if w.ExecDelay > 0 {
-		if err := sleepCtx(ctx, w.ExecDelay); err != nil {
+		if err := ctxutil.Sleep(ctx, w.ExecDelay); err != nil {
 			return "", err
 		}
 	}

@@ -144,6 +144,7 @@ func MarshalGzip(fs *fsim.FS) ([]byte, error) {
 	// Zero the gzip mtime for determinism.
 	gz.ModTime = epoch
 	if _, err := gz.Write(raw); err != nil {
+		gz.Close()
 		return nil, fmt.Errorf("tarfs: compressing: %w", err)
 	}
 	if err := gz.Close(); err != nil {
@@ -160,6 +161,7 @@ func UnmarshalGzip(data []byte) (*fsim.FS, error) {
 	}
 	raw, err := io.ReadAll(gz)
 	if err != nil {
+		gz.Close()
 		return nil, fmt.Errorf("tarfs: decompressing: %w", err)
 	}
 	if err := gz.Close(); err != nil {

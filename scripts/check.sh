@@ -19,9 +19,11 @@ go vet ./...
 echo "== comtainer-vet (incremental) =="
 # The repository's own analyzer suite (digestcmp, digestflow,
 # atomicwrite, lockio, lockorder, safejoin, errpropagate, gonaked,
-# ctxsleep, ctxflow). Diagnostics are printed as
+# ctxsleep, ctxflow, and the CFG-based lifecycle passes bodyclose,
+# closeleak, timerstop, wgbalance). Diagnostics are printed as
 # path:line:col: [analyzer] message — the [analyzer] tag names the
-# invariant that failed; see DESIGN.md "Static analysis".
+# invariant that failed; see DESIGN.md "Static analysis" and
+# "CFG & dataflow".
 #
 # -cache replays unchanged packages from COMTAINER_VET_CACHE (CI
 # persists the directory across runs via actions/cache). The first run
