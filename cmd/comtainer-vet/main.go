@@ -7,6 +7,8 @@
 //	atomicwrite   temp+rename writes under store roots
 //	lockio        no file/network I/O while a shard mutex is held
 //	lockorder     no cycles in the global lock-acquisition order
+//	guardedby     a field's inferred guard lock is held on every access (lockset)
+//	atomicmix     no mixing of sync/atomic and plain access to one field
 //	safejoin      sanitized joins for tar entry names and fsim paths
 //	errpropagate  no discarded errors from the storage packages
 //	gonaked       no fire-and-forget goroutines
@@ -23,6 +25,7 @@
 //	go run ./cmd/comtainer-vet -only lockio,safejoin ./internal/distrib
 //	go run ./cmd/comtainer-vet -cache -json ./...
 //	go run ./cmd/comtainer-vet -cache -stats ./...
+//	go run ./cmd/comtainer-vet -sarif ./... > vet.sarif
 //
 // With -cache, per-package results and facts are keyed by analyzer
 // versions, toolchain, source bytes, and dependency keys, and replayed
@@ -38,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -54,11 +58,12 @@ func main() {
 		useCache   = flag.Bool("cache", false, "replay unchanged packages from the incremental cache")
 		cacheDir   = flag.String("cache-dir", "", "cache location (default: $COMTAINER_VET_CACHE or the user cache dir)")
 		jsonOut    = flag.Bool("json", false, "emit findings as JSON (including suppressed ones, flagged)")
+		sarifOut   = flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for GitHub code scanning upload)")
 		stats      = flag.Bool("stats", false, "print per-analyzer wall time and cache replay counts to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [-cache] [-cache-dir dir] [-json] [-stats] [-cpuprofile out] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: comtainer-vet [-list] [-only a,b] [-C dir] [-cache] [-cache-dir dir] [-json] [-sarif] [-stats] [-cpuprofile out] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,13 +98,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	os.Exit(run(suite, *dir, flag.Args(), *useCache, *cacheDir, *jsonOut, *stats))
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "comtainer-vet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+	os.Exit(run(suite, *dir, flag.Args(), *useCache, *cacheDir, *jsonOut, *sarifOut, *stats))
 }
 
 // run executes the suite and returns the process exit code (0 clean,
 // 1 findings, 2 operational error). It is separate from main so the
 // pprof defers above fire before exit.
-func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cacheDir string, jsonOut, stats bool) int {
+func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cacheDir string, jsonOut, sarifOut, stats bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -136,14 +145,26 @@ func run(suite analysis.Suite, dir string, patterns []string, useCache bool, cac
 	}
 
 	findings := res.Findings()
-	if jsonOut {
+	switch {
+	case jsonOut:
 		out, err := analysis.EncodeFindings(analysis.FindingsOf(res.Diags))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
 			return 2
 		}
 		os.Stdout.Write(out)
-	} else {
+	case sarifOut:
+		root, err := filepath.Abs(dir)
+		if err != nil {
+			root = dir
+		}
+		out, err := analysis.EncodeSARIF(analysis.FindingsOf(res.Diags), suite, root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "comtainer-vet: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+	default:
 		for _, d := range findings {
 			fmt.Println(d)
 		}

@@ -117,6 +117,12 @@ func (c *DiskCache) index() error {
 		return fmt.Errorf("actioncache: indexing %s: %w", base, err)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].mod.Before(all[j].mod) })
+	// index only runs from the constructor, but taking the lock keeps
+	// the entries/size/clock invariant uniform: every mutation of the
+	// index holds c.mu, with no constructor-phase carve-out to reason
+	// about.
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, f := range all {
 		c.clock++
 		c.entries[f.key] = &diskEntry{size: f.size, lastUse: c.clock}
@@ -226,6 +232,8 @@ func (c *DiskCache) Put(key digest.Digest, val []byte) error {
 // index until the cache fits its cap, sparing keep (the entry just
 // written), and returns their keys for file deletion outside the
 // lock.
+//
+//comtainer:allow guardedby -- caller holds c.mu; the Locked suffix is the contract, and lockset analysis is intraprocedural
 func (c *DiskCache) pickVictimsLocked(keep digest.Digest) []digest.Digest {
 	if c.maxBytes <= 0 {
 		return nil

@@ -82,6 +82,15 @@ type Pass struct {
 	// (package not analyzed, or no fact exported). The returned fact
 	// is shared: treat it as read-only.
 	PackageFact func(path string) Fact
+
+	// AnalyzerFact returns the fact the named analyzer exported for
+	// the package with the given import path — including the package
+	// under analysis, when that analyzer ran earlier in the suite.
+	// This is how layered analyzers (guardedby over lockorder's lock
+	// summaries) share facts without re-deriving them; the consumer
+	// must run after the producer in the suite and degrade gracefully
+	// to nil when the producer was filtered out with -only.
+	AnalyzerFact func(analyzer, path string) Fact
 }
 
 // FinishPass is the whole-program view handed to Analyzer.Finish after
@@ -98,6 +107,11 @@ type FinishPass struct {
 	// token.Positions carried inside facts — the FileSet of cached
 	// packages is not available here.
 	Report func(Diagnostic)
+
+	// AnalyzerFacts returns every package fact the named analyzer
+	// exported (import path → fact), the whole-program counterpart of
+	// Pass.AnalyzerFact. The returned map is shared: read-only.
+	AnalyzerFacts func(analyzer string) map[string]Fact
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.
@@ -115,6 +129,13 @@ type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+
+	// Pkg is the import path of the package whose analysis produced
+	// the diagnostic; "" for whole-program Finish findings, which
+	// belong to no single package. It exists so report encoders can
+	// order findings deterministically by (package, file, line,
+	// analyzer) regardless of map-iteration order.
+	Pkg string
 
 	// Suppressed marks a diagnostic covered by a //comtainer:allow
 	// comment. The checker keeps suppressed findings (flagged) so the

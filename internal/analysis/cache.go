@@ -13,8 +13,10 @@ import (
 )
 
 // cacheSchema is the on-disk format version; bump to invalidate every
-// entry when the entry layout or keying scheme changes.
-const cacheSchema = "comtainer-vet-cache/v2"
+// entry when the entry layout or keying scheme changes. v3: the
+// 16-analyzer suite (guardedby, atomicmix), lockorder facts with
+// Leaves/Releases summaries, and Diagnostic.Pkg in cached entries.
+const cacheSchema = "comtainer-vet-cache/v3"
 
 // defaultCacheCap bounds the vet cache: entries are small JSON
 // documents, so 256 MiB is effectively unbounded in practice while

@@ -1,0 +1,182 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lexicalLockOps classifies nodes for the lockset tests without type
+// information: method calls named Lock/RLock acquire the receiver's
+// rendered text as a lock class, Unlock/RUnlock release it, and the
+// lockHelper/unlockHelper functions stand in for lockorder call
+// summaries acquiring and releasing class "h". The real classifier
+// (passes/guardedby) resolves classes through go/types instead; the
+// dataflow under test is the same.
+func lexicalLockOps(n ast.Node) []LockOp {
+	var ops []LockOp
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "lockHelper":
+				ops = append(ops, LockOp{Class: "h", Acquire: true})
+			case "unlockHelper":
+				ops = append(ops, LockOp{Class: "h"})
+			}
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "Lock", "RLock":
+				ops = append(ops, LockOp{Class: nodeText(fun.X), Acquire: true})
+			case "Unlock", "RUnlock":
+				ops = append(ops, LockOp{Class: nodeText(fun.X)})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// TestLockSetGolden runs the must-hold dataflow over every function in
+// testdata/lockfuncs.go and compares the annotated dumps against
+// testdata/lockfuncs.golden. Regenerate with
+// CFG_UPDATE=1 go test ./internal/analysis/cfg.
+func TestLockSetGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "testdata/lockfuncs.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := New(fd.Name.Name, fd.Body)
+		ls := ComputeLockSets(g, lexicalLockOps)
+		b.WriteString(ls.Dump())
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	const golden = "testdata/lockfuncs.golden"
+	if os.Getenv("CFG_UPDATE") == "1" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with CFG_UPDATE=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("lockset dump drifted from %s.\nRegenerate with CFG_UPDATE=1 after reviewing.\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestAtExit pins the Leaves-summary view: what is still held when the
+// function returns, after deferred releases run.
+func TestAtExit(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "lock helper leaves its class held",
+			src:  `func f() { mu.Lock() }`,
+			want: []string{"mu"},
+		},
+		{
+			name: "deferred unlock releases at exit",
+			src:  `func f() { mu.Lock(); defer mu.Unlock() }`,
+			want: nil,
+		},
+		{
+			name: "explicit unlock releases",
+			src:  `func f() { mu.Lock(); mu.Unlock() }`,
+			want: nil,
+		},
+		{
+			name: "partial release leaves nothing definite",
+			src: `func f() {
+				mu.Lock()
+				if cond() {
+					mu.Unlock()
+				}
+			}`,
+			want: nil,
+		},
+		{
+			name: "two classes, one deferred",
+			src: `func f() {
+				a.Lock()
+				b.Lock()
+				defer b.Unlock()
+			}`,
+			want: []string{"a"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseFunc(t, tc.src)
+			ls := ComputeLockSets(g, lexicalLockOps)
+			if got := ls.AtExit(); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("AtExit = %v, want %v\n%s", got, tc.want, ls.Dump())
+			}
+		})
+	}
+}
+
+// TestHolds spot-checks the per-node query used by guardedby: the
+// access after a defer registration still holds the lock; the access
+// after a conditional release does not.
+func TestHolds(t *testing.T) {
+	g := parseFunc(t, `func f() {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+	}`)
+	ls := ComputeLockSets(g, lexicalLockOps)
+	// Entry block nodes: mu.Lock(), defer, n++.
+	if !ls.Holds(g.Entry, 2, "mu") {
+		t.Errorf("n++ after defer mu.Unlock() should hold mu\n%s", ls.Dump())
+	}
+	if ls.Holds(g.Entry, 0, "mu") {
+		t.Errorf("mu must not be held before mu.Lock()\n%s", ls.Dump())
+	}
+
+	g2 := parseFunc(t, `func f() {
+		mu.Lock()
+		if cond() {
+			mu.Unlock()
+		}
+		n++
+	}`)
+	ls2 := ComputeLockSets(g2, lexicalLockOps)
+	var merge *Block
+	for _, blk := range g2.Blocks {
+		if blk.Kind == "if.done" {
+			merge = blk
+		}
+	}
+	if merge == nil {
+		t.Fatalf("no if.done block\n%s", g2.Dump())
+	}
+	if ls2.Holds(merge, 0, "mu") {
+		t.Errorf("mu released on one path must not be definitely held at the merge\n%s", ls2.Dump())
+	}
+}

@@ -1,0 +1,104 @@
+// Package lockfuncs is the golden-file corpus for the lockset
+// dataflow: each function exercises one must-hold scenario. Like
+// funcs.go it is parsed, never compiled, so the stub identifiers need
+// no imports; the test's lexical classifier maps X.Lock()/X.Unlock()
+// (and RLock/RUnlock) to the receiver's rendered text as the lock
+// class, and lockHelper()/unlockHelper() to acquire/release of class
+// "h", standing in for lockorder call summaries.
+package lockfuncs
+
+func straightLine() {
+	mu.Lock()
+	n++
+	mu.Unlock()
+	n--
+}
+
+func deferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+	n++
+	if cond() {
+		return
+	}
+	n--
+}
+
+func earlyReturnBeforeDefer() {
+	if cond() {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	n++
+}
+
+func partialRelease() {
+	mu.Lock()
+	if cond() {
+		mu.Unlock()
+	}
+	n++
+}
+
+func bothBranchesAcquire() {
+	if cond() {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	n++
+	mu.Unlock()
+}
+
+func loopKeepsHeld() {
+	mu.Lock()
+	for i := 0; i < 10; i++ {
+		n++
+	}
+	mu.Unlock()
+}
+
+func loopReleasesOnBackEdge() {
+	mu.Lock()
+	for cond() {
+		n++
+		mu.Unlock()
+	}
+	n--
+}
+
+func nestedClasses() {
+	a.Lock()
+	s.mu.Lock()
+	n++
+	s.mu.Unlock()
+	n--
+	a.Unlock()
+}
+
+func readLock() {
+	mu.RLock()
+	defer mu.RUnlock()
+	n++
+}
+
+func helperSummaries() {
+	lockHelper()
+	n++
+	unlockHelper()
+	n--
+}
+
+func deferredHelper() {
+	lockHelper()
+	defer unlockHelper()
+	n++
+}
+
+func deadCodeIsTop() {
+	mu.Lock()
+	mu.Unlock()
+	return
+	n++
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"strings"
@@ -70,6 +71,14 @@ func Run(targets []*Target, suite Suite, opts *Options) (*Result, error) {
 	}
 	ck := newChecker(suite)
 	res := &Result{Total: len(targets)}
+	// Seed the filename→package map from target metadata so Finish
+	// diagnostics attribute positions in replayed packages (whose
+	// sources are never loaded) exactly like cold ones.
+	for _, t := range targets {
+		for _, f := range t.GoFiles {
+			ck.fileToPkg[filepath.Join(t.Dir, f)] = t.Path
+		}
+	}
 
 	keys := make(map[string]keyState, len(targets))
 	for _, t := range sortTargets(targets) {
@@ -194,14 +203,21 @@ type checker struct {
 	// perPkg remembers what each package contributed, so a replay
 	// that later proves corrupt can be forgotten cleanly.
 	perPkg map[string]*cacheEntry
+
+	// fileToPkg maps absolute source filenames to import paths, so
+	// whole-program Finish diagnostics (whose positions may land in
+	// any analyzed package, including ones replayed without loading)
+	// can be attributed to a package for report sorting.
+	fileToPkg map[string]string
 }
 
 func newChecker(suite []*Analyzer) *checker {
 	return &checker{
-		suite:  suite,
-		facts:  make(map[string]map[string]Fact),
-		stats:  make(map[string]*AnalyzerStat),
-		perPkg: make(map[string]*cacheEntry),
+		suite:     suite,
+		facts:     make(map[string]map[string]Fact),
+		stats:     make(map[string]*AnalyzerStat),
+		perPkg:    make(map[string]*cacheEntry),
+		fileToPkg: make(map[string]string),
 	}
 }
 
@@ -210,6 +226,11 @@ func newChecker(suite []*Analyzer) *checker {
 // for the cache.
 func (ck *checker) analyze(pkg *Package) (*cacheEntry, error) {
 	entry := &cacheEntry{Facts: make(map[string]json.RawMessage)}
+	for _, f := range pkg.Files {
+		if p := pkg.Fset.Position(f.Pos()); p.Filename != "" {
+			ck.fileToPkg[p.Filename] = pkg.Path
+		}
+	}
 	sites, reasonDiags := scanAllows(pkg)
 	entry.Allows = sites
 	entry.Diags = append(entry.Diags, reasonDiags...)
@@ -223,9 +244,15 @@ func (ck *checker) analyze(pkg *Package) (*cacheEntry, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
-			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			Report: func(d Diagnostic) {
+				d.Pkg = pkg.Path
+				diags = append(diags, d)
+			},
 			PackageFact: func(path string) Fact {
 				return ck.facts[a.Name][path]
+			},
+			AnalyzerFact: func(analyzer, path string) Fact {
+				return ck.facts[analyzer][path]
 			},
 		}
 		if a.FactType != nil {
@@ -312,7 +339,13 @@ func (ck *checker) finish() ([]Diagnostic, error) {
 		fp := &FinishPass{
 			Analyzer: a,
 			Facts:    facts,
-			Report:   func(d Diagnostic) { ck.diags = append(ck.diags, d) },
+			Report: func(d Diagnostic) {
+				if d.Pkg == "" {
+					d.Pkg = ck.fileToPkg[d.Pos.Filename]
+				}
+				ck.diags = append(ck.diags, d)
+			},
+			AnalyzerFacts: func(analyzer string) map[string]Fact { return ck.facts[analyzer] },
 		}
 		start := time.Now()
 		if err := a.Finish(fp); err != nil {

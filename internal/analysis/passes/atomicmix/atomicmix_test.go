@@ -1,0 +1,17 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/atomicmix"
+)
+
+// TestAtomicMix checks in-package mixing (plain read of an atomically
+// updated counter, copy of an atomic.Int64 field) and the
+// cross-package case (field updated atomically in a, read bare in b).
+func TestAtomicMix(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{atomicmix.Analyzer},
+		"testdata/src/atomicmix", "./a", "./b")
+}

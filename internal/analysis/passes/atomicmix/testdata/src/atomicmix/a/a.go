@@ -1,0 +1,90 @@
+// Package a exercises the atomicmix analyzer: an integer field mixing
+// atomic.AddInt64 with a plain read, an atomic.Int64 value field
+// leaked by copy, and clean positives of both disciplines.
+package a
+
+import "sync/atomic"
+
+// Hits mixes sync/atomic functions with a plain read.
+type Hits struct {
+	n int64
+}
+
+// Inc updates atomically.
+func (h *Hits) Inc() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+// Load reads atomically.
+func (h *Hits) Load() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+// Racy reads the same word bare.
+func (h *Hits) Racy() int64 {
+	return h.n // want `field .*a\.Hits\.n mixes sync/atomic access \(2 sites\) with a plain read; atomic and non-atomic access to the same word is a data race`
+}
+
+// Gauge uses the atomic.Int64 value type; method calls are atomic,
+// copying the value out is not.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add updates through the atomic method.
+func (g *Gauge) Add() {
+	g.v.Add(1)
+}
+
+// Level reads through the atomic method.
+func (g *Gauge) Level() int64 {
+	return g.v.Load()
+}
+
+// Escape hands the field to a helper by pointer: accepted silently,
+// operating on *atomic.Int64 is the idiomatic composition.
+func Escape(g *Gauge, f func(*atomic.Int64)) {
+	f(&g.v)
+}
+
+// Snapshot copies the atomic value — a torn, unsynchronized read.
+func (g *Gauge) Snapshot() int64 {
+	copied := g.v // want `field .*a\.Gauge\.v mixes sync/atomic access \(2 sites\) with a plain read; atomic and non-atomic access to the same word is a data race`
+	return copied.Load()
+}
+
+// Shared.N is updated atomically here and read bare in package b: the
+// cross-package fact case.
+type Shared struct {
+	N int64
+}
+
+// Bump updates atomically.
+func Bump(s *Shared) {
+	atomic.AddInt64(&s.N, 1)
+}
+
+// Clean is atomic on every access: no diagnostic.
+type Clean struct {
+	n int64
+}
+
+// Inc updates atomically.
+func (c *Clean) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Get reads atomically.
+func (c *Clean) Get() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// PlainOnly never goes near sync/atomic: no diagnostic.
+type PlainOnly struct {
+	n int64
+}
+
+// Inc updates bare, everywhere, consistently.
+func (p *PlainOnly) Inc() {
+	p.n++
+}

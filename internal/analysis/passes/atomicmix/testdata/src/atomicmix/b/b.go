@@ -1,0 +1,11 @@
+// Package b breaks the atomic discipline package a established:
+// a.Shared.N is updated through atomic.AddInt64 over there and read
+// bare here — the cross-package fact case.
+package b
+
+import "comtainer/internal/analysis/passes/atomicmix/testdata/src/atomicmix/a"
+
+// Read loads a.Shared.N without sync/atomic.
+func Read(s *a.Shared) int64 {
+	return s.N // want `field .*a\.Shared\.N mixes sync/atomic access \(1 sites\) with a plain read; atomic and non-atomic access to the same word is a data race`
+}

@@ -1,0 +1,657 @@
+// Package guardedby infers, for every struct field declared in this
+// module, which lock protects it — by majority vote over all of the
+// field's accesses — and reports the accesses where the inferred guard
+// is provably not held, the RacerD-style static data-race check.
+//
+// Per package, every function scope is lowered to its CFG and run
+// through the must-hold lockset dataflow (cfg.ComputeLockSets): sync
+// (R)Lock/(R)Unlock calls acquire and release lock classes
+// (analysis.LockClass identities), `defer mu.Unlock()` keeps the class
+// held to the synthetic exit, and calls into in-module functions apply
+// the acquire/release summaries lockorder exported as facts (a
+// `lock()` helper leaves its class held; an `unlock()` helper removes
+// it). Each field access is recorded with the classes definitely held
+// at its CFG node, whether it is a read or a write, and whether it
+// runs on a spawned goroutine. The whole-program Finish step merges
+// the access records of every package, computes the set of functions
+// reachable from a goroutine spawn site through the CHA call graph
+// (interface calls fanned out via lockorder's Impls facts), and for
+// each field with at least one concurrent access takes the vote: if
+// one lock class is held at a strict majority of at least two
+// accesses, every access without it is reported — "field Proxy.table
+// is guarded by Proxy.mu on 9/11 accesses; unguarded write".
+//
+// Accepted unsoundness, documented for a linter backed by audited
+// //comtainer:allow comments: lock classes collapse all instances of a
+// type, aliasing through pointers copied into other structures is
+// invisible, reflection and unsafe bypass the AST entirely, and
+// RLock counts as holding the class (a write under RLock still
+// satisfies the vote). Accesses through locals the function itself
+// allocated (`p := &Proxy{...}; p.table = ...`) are skipped as owned —
+// unpublished values cannot race.
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/cfg"
+	"comtainer/internal/analysis/passes/lockorder"
+)
+
+// Analyzer reports field accesses that do not hold the field's
+// inferred guard lock.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "a struct field protected by a lock on most accesses must hold that lock on " +
+		"every access reachable from a goroutine; an unguarded access is a data race",
+	Version:  1,
+	FactType: (*Fact)(nil),
+	Run:      run,
+	Finish:   finish,
+}
+
+// Fact is the per-package summary guardedby exports: every field
+// access with its held lockset, plus the call and spawn edges the
+// Finish step needs for goroutine reachability.
+type Fact struct {
+	// Fields maps field class ("pkg.Type.Field") → accesses observed
+	// in this package.
+	Fields map[string][]Access `json:"fields,omitempty"`
+	// Funcs maps analysis.FuncID → the function's outgoing edges.
+	Funcs map[string]*FuncConc `json:"funcs,omitempty"`
+}
+
+// AFact marks Fact as a serializable analysis fact.
+func (*Fact) AFact() {}
+
+// Access is one read or write of a shared struct field.
+type Access struct {
+	// Fn is the FuncID of the enclosing declared function ("" for
+	// file-level initializers).
+	Fn string `json:"fn,omitempty"`
+	// Write marks assignments, ++/--, and address-taken uses.
+	Write bool `json:"write,omitempty"`
+	// Go marks accesses lexically inside a go-statement's function
+	// literal: directly concurrent regardless of reachability.
+	Go bool `json:"go,omitempty"`
+	// Held are the lock classes definitely held at the access.
+	Held []string `json:"held,omitempty"`
+	// Pos locates the access for reporting.
+	Pos token.Position `json:"pos"`
+}
+
+// FuncConc is one function's outgoing edges for the reachability walk.
+type FuncConc struct {
+	// Calls are in-module callees invoked synchronously (static
+	// FuncIDs and interface-method IDs, resolved via Impls at Finish).
+	Calls []string `json:"calls,omitempty"`
+	// Spawns are callees invoked on a new goroutine: `go f()` targets
+	// and every call made inside a go-statement's literal body.
+	Spawns []string `json:"spawns,omitempty"`
+}
+
+func run(pass *analysis.Pass) error {
+	w := &walker{
+		pass:  pass,
+		seg:   firstSegment(pass.Pkg.Path()),
+		fact:  &Fact{Fields: make(map[string][]Access), Funcs: make(map[string]*FuncConc)},
+		cache: make(map[string]*lockorder.Fact),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			w.scope(fd.Name.Name, analysis.FuncID(fn), fd.Body, false)
+		}
+	}
+	if len(w.fact.Fields) > 0 || len(w.fact.Funcs) > 0 {
+		for class := range w.fact.Fields {
+			sortAccesses(w.fact.Fields[class])
+		}
+		pass.ExportPackageFact(w.fact)
+	}
+	return nil
+}
+
+// walker accumulates one package's fact while descending through
+// function scopes.
+type walker struct {
+	pass  *analysis.Pass
+	seg   string
+	fact  *Fact
+	cache map[string]*lockorder.Fact
+}
+
+// scope analyzes one function body: lockset dataflow, field accesses,
+// call/spawn edges, then recurses into nested literals. fnID
+// attributes everything to the enclosing declared function; inGo marks
+// bodies that execute on a spawned goroutine.
+func (w *walker) scope(name, fnID string, body *ast.BlockStmt, inGo bool) {
+	g := cfg.New(name, body)
+	ls := cfg.ComputeLockSets(g, w.lockOps)
+	owned := ownedLocals(w.pass.TypesInfo, body)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if _, isDefer := n.(*ast.DeferStmt); isDefer && blk != g.Exit {
+				continue // its call is interpreted in the exit block
+			}
+			held := ls.Held(blk, i)
+			w.accesses(n, fnID, inGo, held, owned)
+			w.edges(n, fnID, inGo)
+		}
+	}
+	// Nested literals are their own scopes with empty entry locksets —
+	// a callback or goroutine body does not inherit the spawner's
+	// locks. A literal that is the operand of `go lit()` is concurrent;
+	// the GoStmt is visited before its literal, so the mark is in place
+	// when the literal's scope is built.
+	spawned := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(v.Call.Fun).(*ast.FuncLit); ok {
+				spawned[lit] = true
+			}
+		case *ast.FuncLit:
+			w.scope(name+".func", fnID, v.Body, inGo || spawned[v])
+			return false
+		}
+		return true
+	})
+}
+
+// lockOps classifies one CFG node's lock-state effects: sync mutex
+// calls directly, in-module calls through lockorder's Leaves/Releases
+// summaries.
+func (w *walker) lockOps(n ast.Node) []cfg.LockOp {
+	info := w.pass.TypesInfo
+	var ops []cfg.LockOp
+	analysis.InspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, acquire, ok := syncLockCall(info, call); ok {
+			if class != "" {
+				ops = append(ops, cfg.LockOp{Class: class, Acquire: acquire})
+			}
+			return true
+		}
+		fn := analysis.Callee(info, call)
+		if fn == nil || fn.Pkg() == nil || firstSegment(fn.Pkg().Path()) != w.seg {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			return true // dynamic dispatch: no single summary applies
+		}
+		if fl := w.lockSummary(fn.Pkg().Path(), analysis.FuncID(fn)); fl != nil {
+			for _, c := range fl.Releases {
+				ops = append(ops, cfg.LockOp{Class: c})
+			}
+			for _, c := range fl.Leaves {
+				ops = append(ops, cfg.LockOp{Class: c, Acquire: true})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// lockSummary fetches the lockorder summary of one in-module function
+// (the current package's own facts included: lockorder runs earlier in
+// the suite). Nil when lockorder was filtered out or the function has
+// no summary — the dataflow then treats the call as lock-neutral.
+func (w *walker) lockSummary(pkgPath, id string) *lockorder.FuncLocks {
+	if id == "" {
+		return nil
+	}
+	f, ok := w.cache[pkgPath]
+	if !ok {
+		f, _ = w.pass.AnalyzerFact(lockorder.Analyzer.Name, pkgPath).(*lockorder.Fact)
+		w.cache[pkgPath] = f
+	}
+	if f == nil {
+		return nil
+	}
+	return f.Funcs[id]
+}
+
+// accesses records every shared-field read and write inside one CFG
+// node (not descending into literals, which are separate scopes).
+func (w *walker) accesses(n ast.Node, fnID string, inGo bool, held []string, owned map[types.Object]bool) {
+	info := w.pass.TypesInfo
+	writes := writeTargets(n)
+	var visit func(m ast.Node) bool
+	visit = func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if analysis.IsPkgFunc(info, v, "sync/atomic") || isAtomicMethod(info, v) {
+				return false // atomicmix's domain, not a plain access
+			}
+		case *ast.SelectorExpr:
+			class, field := fieldClass(info, v)
+			if class == "" || field.Pkg() == nil || firstSegment(field.Pkg().Path()) != w.seg ||
+				excludedFieldType(field.Type()) {
+				break
+			}
+			if obj := rootObj(info, v); obj != nil && owned[obj] {
+				break
+			}
+			w.fact.Fields[class] = append(w.fact.Fields[class], Access{
+				Fn:    fnID,
+				Write: writes[v],
+				Go:    inGo,
+				Held:  held,
+				Pos:   w.pass.Fset.Position(v.Sel.Pos()),
+			})
+		}
+		return true
+	}
+	ast.Inspect(n, visit)
+}
+
+// edges records call and spawn edges out of one CFG node.
+func (w *walker) edges(n ast.Node, fnID string, inGo bool) {
+	if fnID == "" {
+		return
+	}
+	info := w.pass.TypesInfo
+	goCalls := make(map[*ast.CallExpr]bool)
+	analysis.InspectShallow(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.GoStmt:
+			goCalls[v.Call] = true // visited before its child call
+		case *ast.CallExpr:
+			fn := analysis.Callee(info, v)
+			if fn == nil || fn.Pkg() == nil || firstSegment(fn.Pkg().Path()) != w.seg {
+				return true
+			}
+			id, _, ok := analysis.CallTarget(info, v)
+			if !ok {
+				return true
+			}
+			c := w.conc(fnID)
+			if inGo || goCalls[v] {
+				c.Spawns = appendUnique(c.Spawns, id)
+			} else {
+				c.Calls = appendUnique(c.Calls, id)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) conc(id string) *FuncConc {
+	c := w.fact.Funcs[id]
+	if c == nil {
+		c = &FuncConc{}
+		w.fact.Funcs[id] = c
+	}
+	return c
+}
+
+// --- whole-program step ---
+
+func finish(fp *analysis.FinishPass) error {
+	fields := make(map[string][]Access)
+	funcs := make(map[string]*FuncConc)
+	for _, f := range fp.Facts {
+		fact, ok := f.(*Fact)
+		if !ok {
+			continue
+		}
+		for class, accs := range fact.Fields {
+			fields[class] = append(fields[class], accs...)
+		}
+		for id, c := range fact.Funcs {
+			funcs[id] = c
+		}
+	}
+
+	// CHA bindings come from lockorder's facts: guardedby piggybacks
+	// on the same interface→implementation view rather than exporting
+	// a second copy.
+	impls := make(map[string][]string)
+	for _, f := range fp.AnalyzerFacts(lockorder.Analyzer.Name) {
+		if lf, ok := f.(*lockorder.Fact); ok {
+			analysis.MergeImplementations(impls, lf.Impls)
+		}
+	}
+
+	reachable := goroutineReachable(funcs, impls)
+
+	classes := make([]string, 0, len(fields))
+	for class := range fields {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		accs := fields[class]
+		sortAccesses(accs)
+		voteAndReport(fp, class, accs, reachable)
+	}
+	return nil
+}
+
+// goroutineReachable computes the FuncIDs reachable from any spawn
+// site: spawn targets seed the set, and both synchronous calls and
+// further spawns propagate it. Interface-method IDs fan out to their
+// known implementations.
+func goroutineReachable(funcs map[string]*FuncConc, impls map[string][]string) map[string]bool {
+	reachable := make(map[string]bool)
+	var queue []string
+	add := func(id string) {
+		if !reachable[id] {
+			reachable[id] = true
+			queue = append(queue, id)
+		}
+		for _, impl := range impls[id] {
+			if !reachable[impl] {
+				reachable[impl] = true
+				queue = append(queue, impl)
+			}
+		}
+	}
+	for _, c := range funcs {
+		for _, id := range c.Spawns {
+			add(id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		c := funcs[id]
+		if c == nil {
+			continue
+		}
+		for _, callee := range c.Calls {
+			add(callee)
+		}
+		for _, callee := range c.Spawns {
+			add(callee)
+		}
+	}
+	return reachable
+}
+
+// voteAndReport takes the majority vote over one field's accesses and
+// reports the accesses missing the winning guard. The field must have
+// at least one concurrent access (inside a spawned literal, or in a
+// function reachable from a spawn site); the winner must be held at a
+// strict majority of at least two accesses.
+func voteAndReport(fp *analysis.FinishPass, class string, accs []Access, reachable map[string]bool) {
+	concurrent := false
+	for _, a := range accs {
+		if a.Go || reachable[a.Fn] {
+			concurrent = true
+			break
+		}
+	}
+	if !concurrent {
+		return
+	}
+
+	count := make(map[string]int)
+	for _, a := range accs {
+		for _, h := range a.Held {
+			count[h]++
+		}
+	}
+	guard, n := "", 0
+	for _, h := range sortedKeys(count) {
+		if count[h] > n {
+			guard, n = h, count[h]
+		}
+	}
+	if guard == "" || n < 2 || 2*n <= len(accs) {
+		return // no inferable invariant, or too weak a majority
+	}
+	for _, a := range accs {
+		if hasClass(a.Held, guard) {
+			continue
+		}
+		kind := "read"
+		if a.Write {
+			kind = "write"
+		}
+		fp.Report(analysis.Diagnostic{
+			Pos:      a.Pos,
+			Analyzer: fp.Analyzer.Name,
+			Message: fmt.Sprintf("field %s is guarded by %s on %d/%d accesses; unguarded %s",
+				class, guard, n, len(accs), kind),
+		})
+	}
+}
+
+// --- helpers ---
+
+// syncLockCall classifies sync.Mutex/RWMutex method calls: the
+// resolved lock class ("" for local mutexes) and whether the call
+// acquires. TryLock/TryRLock are ignored: their success is
+// conditional, so they never add to the must-hold set.
+func syncLockCall(info *types.Info, call *ast.CallExpr) (class string, acquire, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return analysis.LockClass(info, sel.X), true, true
+	case "Unlock", "RUnlock":
+		return analysis.LockClass(info, sel.X), false, true
+	}
+	return "", false, false
+}
+
+// fieldClass resolves a selector to its field-class identity
+// ("pkgpath.Owner.field", mirroring analysis.LockClass) and the field
+// object; "" when the selector is not a struct-field access on a
+// named type.
+func fieldClass(info *types.Info, sel *ast.SelectorExpr) (string, *types.Var) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", nil
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return "", nil
+	}
+	rpath, rname := analysis.NamedTypePath(s.Recv())
+	if rname == "" {
+		return "", nil
+	}
+	if rpath == "" && field.Pkg() != nil {
+		rpath = field.Pkg().Path()
+	}
+	return rpath + "." + rname + "." + field.Name(), field
+}
+
+// excludedFieldType reports fields that are synchronization primitives
+// themselves (mutexes, wait groups, atomics — their access discipline
+// is their own) or channels (synchronized by construction).
+func excludedFieldType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	path, _ := analysis.NamedTypePath(t)
+	return path == "sync" || path == "sync/atomic"
+}
+
+// isAtomicMethod reports method calls on sync/atomic value types
+// (atomic.Int64.Add and family).
+func isAtomicMethod(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// writeTargets collects the selector expressions n writes through:
+// assignment left-hand sides, ++/-- operands, and address-taken
+// operands (a pointer to the field may be written by anyone).
+func writeTargets(n ast.Node) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(v.X)
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				mark(v.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// rootObj unwraps a selector/index chain to its base identifier's
+// object (`p.cache.table` → p, `s.shards[i].n` → s); nil for chains
+// rooted in calls or other expressions.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.Ident:
+			return info.Uses[v]
+		default:
+			return nil
+		}
+	}
+}
+
+// ownedLocals collects variables the body itself allocates (`p :=
+// &Proxy{...}`, `var p = new(Proxy)`, `q := Proxy{}`): accesses
+// through them touch unpublished memory and carry no race risk until
+// the value escapes — by which point other functions' accesses, not
+// these, vote on the guard.
+func ownedLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil && allocExpr(info, v.Rhs[i]) {
+					owned[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(v.Names) != len(v.Values) {
+				return true
+			}
+			for i, id := range v.Names {
+				if obj := info.Defs[id]; obj != nil && allocExpr(info, v.Values[i]) {
+					owned[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// allocExpr reports expressions that denote fresh, unshared memory.
+func allocExpr(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return v.Op == token.AND && allocExpr(info, v.X)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func hasClass(held []string, class string) bool {
+	for _, h := range held {
+		if h == class {
+			return true
+		}
+	}
+	return false
+}
+
+func appendUnique(list []string, id string) []string {
+	for _, have := range list {
+		if have == id {
+			return list
+		}
+	}
+	return append(list, id)
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortAccesses(accs []Access) {
+	sort.Slice(accs, func(i, j int) bool {
+		a, b := accs[i].Pos, accs[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,19 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/analysistest"
+	"comtainer/internal/analysis/passes/guardedby"
+	"comtainer/internal/analysis/passes/lockorder"
+)
+
+// TestGuardedBy runs lockorder and guardedby together — the real suite
+// ordering — so guardedby's lockset dataflow sees lockorder's
+// lock()-helper summaries, and checks both in-package and
+// cross-package (field guarded in a, raced in b) findings.
+func TestGuardedBy(t *testing.T) {
+	analysistest.RunSuite(t, analysis.Suite{lockorder.Analyzer, guardedby.Analyzer},
+		"testdata/src/guardedby", "./a", "./b")
+}

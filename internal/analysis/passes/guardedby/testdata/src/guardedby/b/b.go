@@ -1,0 +1,23 @@
+// Package b races against the guard invariant package a established:
+// a.Table.M is written under a.Table.Mu over there, and read bare on a
+// goroutine here — the cross-package fact case.
+package b
+
+import (
+	"sync"
+
+	"comtainer/internal/analysis/passes/guardedby/testdata/src/guardedby/a"
+)
+
+// Race reads a.Table.M from a spawned goroutine without its guard.
+func Race(t *a.Table) int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	n := 0
+	go func() {
+		defer wg.Done()
+		n = len(t.M) // want `field .*a\.Table\.M is guarded by .*a\.Table\.Mu on 2/3 accesses; unguarded read`
+	}()
+	wg.Wait()
+	return n
+}

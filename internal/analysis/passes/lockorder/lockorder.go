@@ -39,7 +39,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "lockorder",
 	Doc: "no cycles in the repository-wide lock acquisition order; a cycle " +
 		"means two call paths can take the same mutexes in opposite orders and deadlock",
-	Version:  1,
+	Version:  2,
 	FactType: (*Fact)(nil),
 	Run:      run,
 	Finish:   finish,
@@ -62,6 +62,16 @@ func (*Fact) AFact() {}
 type FuncLocks struct {
 	Acquires []Acquire  `json:"acquires,omitempty"`
 	Calls    []CallSite `json:"calls,omitempty"`
+
+	// Leaves are the lock classes still held when the function
+	// returns — acquired with neither a later explicit unlock nor a
+	// deferred unlock. A lock() helper leaves its class held; callers'
+	// lockset dataflow (cfg.ComputeLockSets) adds these on the call.
+	Leaves []string `json:"leaves,omitempty"`
+	// Releases are the classes the function unlocks without having
+	// acquired them itself — an unlock() helper running with the
+	// caller's lock held. Callers' lockset dataflow removes these.
+	Releases []string `json:"releases,omitempty"`
 }
 
 // Acquire is one mutex acquisition with the classes lexically held at
@@ -205,9 +215,68 @@ func summarize(pass *analysis.Pass, body *ast.BlockStmt) *FuncLocks {
 			})
 		}
 	}
-	if len(out.Acquires) == 0 && len(out.Calls) == 0 {
+	out.Leaves, out.Releases = netEffect(events)
+	if len(out.Acquires) == 0 && len(out.Calls) == 0 &&
+		len(out.Leaves) == 0 && len(out.Releases) == 0 {
 		return nil
 	}
+	return out
+}
+
+// netEffect derives the function's lock summary for callers: the
+// classes still held at return (leaves) and the classes unlocked
+// without a prior acquisition (releases). Lexical, matching heldSets:
+// an acquisition is released by a later explicit unlock of the same
+// receiver, or by a deferred unlock anywhere (defers run at return
+// regardless of registration order relative to the Lock).
+func netEffect(events []event) (leaves, releases []string) {
+	leave := map[string]bool{}
+	release := map[string]bool{}
+	for _, l := range events {
+		if l.kind != "lock" || l.class == "" {
+			continue
+		}
+		settled := false
+		for _, e := range events {
+			if e.key != l.key {
+				continue
+			}
+			if (e.kind == "unlock" && e.pos > l.pos) || e.kind == "defer-unlock" {
+				settled = true
+				break
+			}
+		}
+		if !settled {
+			leave[l.class] = true
+		}
+	}
+	for _, u := range events {
+		if u.kind != "unlock" || u.class == "" {
+			continue
+		}
+		acquired := false
+		for _, e := range events {
+			if e.kind == "lock" && e.key == u.key && e.pos < u.pos {
+				acquired = true
+				break
+			}
+		}
+		if !acquired {
+			release[u.class] = true
+		}
+	}
+	return setToSorted(leave), setToSorted(release)
+}
+
+func setToSorted(s map[string]bool) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Strings(out)
 	return out
 }
 

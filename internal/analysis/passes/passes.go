@@ -3,6 +3,7 @@ package passes
 
 import (
 	"comtainer/internal/analysis"
+	"comtainer/internal/analysis/passes/atomicmix"
 	"comtainer/internal/analysis/passes/atomicwrite"
 	"comtainer/internal/analysis/passes/bodyclose"
 	"comtainer/internal/analysis/passes/closeleak"
@@ -12,6 +13,7 @@ import (
 	"comtainer/internal/analysis/passes/digestflow"
 	"comtainer/internal/analysis/passes/errpropagate"
 	"comtainer/internal/analysis/passes/gonaked"
+	"comtainer/internal/analysis/passes/guardedby"
 	"comtainer/internal/analysis/passes/lockio"
 	"comtainer/internal/analysis/passes/lockorder"
 	"comtainer/internal/analysis/passes/safejoin"
@@ -20,7 +22,9 @@ import (
 )
 
 // All returns every analyzer in the comtainer-vet suite, in the order
-// diagnostics should be grouped.
+// diagnostics should be grouped. Order is also a dependency statement:
+// guardedby consumes the lock summaries and CHA bindings lockorder
+// exports, so lockorder must run first.
 func All() analysis.Suite {
 	return analysis.Suite{
 		digestcmp.Analyzer,
@@ -28,6 +32,8 @@ func All() analysis.Suite {
 		atomicwrite.Analyzer,
 		lockio.Analyzer,
 		lockorder.Analyzer,
+		guardedby.Analyzer,
+		atomicmix.Analyzer,
 		safejoin.Analyzer,
 		errpropagate.Analyzer,
 		gonaked.Analyzer,

@@ -3,12 +3,14 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 )
 
 // Finding is the machine-readable form of one diagnostic, the unit of
 // comtainer-vet's -json output. Suppressed findings are included so CI
 // annotation tooling can audit the allow inventory, flagged as such.
 type Finding struct {
+	Pkg        string `json:"pkg,omitempty"`
 	File       string `json:"file"`
 	Line       int    `json:"line"`
 	Col        int    `json:"col"`
@@ -17,11 +19,15 @@ type Finding struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
-// FindingsOf converts diagnostics to their JSON form.
+// FindingsOf converts diagnostics to their JSON form, sorted
+// deterministically by (package, file, line, column, analyzer,
+// message) so report output is byte-stable across runs regardless of
+// map-iteration and goroutine scheduling order.
 func FindingsOf(diags []Diagnostic) []Finding {
 	out := make([]Finding, len(diags))
 	for i, d := range diags {
 		out[i] = Finding{
+			Pkg:        d.Pkg,
 			File:       d.Pos.Filename,
 			Line:       d.Pos.Line,
 			Col:        d.Pos.Column,
@@ -30,7 +36,33 @@ func FindingsOf(diags []Diagnostic) []Finding {
 			Suppressed: d.Suppressed,
 		}
 	}
+	SortFindings(out)
 	return out
+}
+
+// SortFindings orders findings by (package, file, line, column,
+// analyzer, message), the canonical report order shared by -json and
+// -sarif output.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
 }
 
 // EncodeFindings renders findings as indented JSON (an array, never

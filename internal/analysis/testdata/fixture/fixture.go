@@ -1,9 +1,10 @@
 // Package fixture is a tiny module the comtainer-vet end-to-end test
-// runs the multichecker against. It deliberately violates seven of the
+// runs the multichecker against. It deliberately violates nine of the
 // enforced invariants (digestcmp, atomicwrite, gonaked, bodyclose,
-// closeleak, timerstop, wgbalance) once each and contains one clean,
-// suppressed site. It must not import comtainer/internal packages:
-// those are invisible across the module boundary.
+// closeleak, timerstop, wgbalance here; guardedby and atomicmix in
+// racecase.go) once each and contains one clean, suppressed site. It
+// must not import comtainer/internal packages: those are invisible
+// across the module boundary.
 package fixture
 
 import (

@@ -1,0 +1,62 @@
+// racecase.go seeds the two static data-race violations: a field
+// guarded by a mutex on most accesses but read bare (guardedby), and
+// a field updated through sync/atomic but read plainly (atomicmix).
+// The spawned goroutine is joined through a channel receive so the
+// seeds trip exactly the intended analyzers and not gonaked.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter guards n with mu on two of three accesses.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc holds the guard.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Reset holds the guard.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+// Peek violates guardedby: the inferred guard is not held.
+func (c *Counter) Peek() int {
+	return c.n
+}
+
+// Watch makes Counter goroutine-shared (joined, so gonaked stays
+// quiet).
+func Watch(c *Counter) {
+	done := make(chan struct{})
+	go func() {
+		c.Inc()
+		close(done)
+	}()
+	<-done
+}
+
+// Gauge updates hits atomically.
+type Gauge struct {
+	hits int64
+}
+
+// Hit updates through sync/atomic.
+func (g *Gauge) Hit() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// Snapshot violates atomicmix: a plain read of the atomic word.
+func (g *Gauge) Snapshot() int64 {
+	return g.hits
+}

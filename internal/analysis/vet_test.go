@@ -11,10 +11,11 @@ import (
 
 // TestVetEndToEnd builds and runs the comtainer-vet multichecker, as a
 // user would, over the fixture module in testdata/fixture. The fixture
-// violates digestcmp, atomicwrite, gonaked, bodyclose, closeleak,
-// timerstop, and wgbalance once each, seeds a two-package lock-order
-// cycle (locka/lockb), and carries one suppressed site, so the binary
-// must exit 1 with exactly those eight diagnostics.
+// violates digestcmp, atomicwrite, gonaked, guardedby, atomicmix,
+// bodyclose, closeleak, timerstop, and wgbalance once each, seeds a
+// two-package lock-order cycle (locka/lockb), and carries one
+// suppressed site, so the binary must exit 1 with exactly those ten
+// diagnostics.
 func TestVetEndToEnd(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go command not available")
@@ -44,23 +45,28 @@ func TestVetEndToEnd(t *testing.T) {
 			lines++
 		}
 	}
-	if lines != 8 {
-		t.Errorf("want exactly 8 diagnostics, got %d:\n%s", lines, text)
+	if lines != 10 {
+		t.Errorf("want exactly 10 diagnostics, got %d:\n%s", lines, text)
 	}
 	for _, name := range []string{
 		"[digestcmp]", "[atomicwrite]", "[gonaked]", "[lockorder]",
+		"[guardedby]", "[atomicmix]",
 		"[bodyclose]", "[closeleak]", "[timerstop]", "[wgbalance]",
 	} {
 		if !strings.Contains(text, name) {
 			t.Errorf("missing %s diagnostic in output:\n%s", name, text)
 		}
 	}
-	// The seeded resource-lifecycle leaks must surface verbatim.
+	// The seeded resource-lifecycle leaks and static data races must
+	// surface verbatim.
 	for _, msg := range []string{
 		"resp.Body is not closed on every path to return",
 		"f (*os.File) is not closed on every path to return",
 		"t (*time.Ticker) is not stopped on every path to return",
 		"wg.Add is not balanced by a Done provider on every path to return",
+		"field fixture.Counter.n is guarded by fixture.Counter.mu on 2/3 accesses; unguarded read",
+		"field fixture.Gauge.hits mixes sync/atomic access (1 sites) with a plain read; " +
+			"atomic and non-atomic access to the same word is a data race",
 	} {
 		if !strings.Contains(text, msg) {
 			t.Errorf("missing seeded leak message %q in output:\n%s", msg, text)
